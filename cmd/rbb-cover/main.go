@@ -1,0 +1,170 @@
+// Command rbb-cover measures multi-token traversal cover times (§4,
+// Corollary 1) on a chosen graph, optionally under the §4.1 adversarial
+// fault model, and compares against the single-token baseline.
+//
+// Examples:
+//
+//	rbb-cover -graph complete -n 512 -trials 5
+//	rbb-cover -graph hypercube -n 1024 -trials 3
+//	rbb-cover -graph complete -n 256 -adversary-every 1536 -placement all-to-one
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/adversary"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/walks"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rbb-cover:", err)
+		os.Exit(1)
+	}
+}
+
+func buildGraph(name string, n, d int, src *rng.Source) (graph.Graph, error) {
+	switch name {
+	case "complete":
+		return graph.NewComplete(n)
+	case "ring":
+		return graph.NewRing(n)
+	case "torus":
+		side := int(math.Round(math.Sqrt(float64(n))))
+		if side < 2 {
+			side = 2
+		}
+		return graph.NewTorus(side, side)
+	case "hypercube":
+		dim := int(math.Round(math.Log2(float64(n))))
+		if dim < 1 {
+			dim = 1
+		}
+		return graph.NewHypercube(dim)
+	case "random-regular":
+		return graph.NewRandomRegular(n, d, src, 2000)
+	default:
+		return nil, fmt.Errorf("unknown graph %q (want complete|ring|torus|hypercube|random-regular)", name)
+	}
+}
+
+func buildPlacement(name string) (adversary.Placement, error) {
+	switch name {
+	case "all-to-one":
+		return adversary.AllToOne{}, nil
+	case "half-and-half":
+		return adversary.HalfAndHalf{}, nil
+	case "uniform-scatter":
+		return adversary.UniformScatter{}, nil
+	default:
+		return nil, fmt.Errorf("unknown placement %q (want all-to-one|half-and-half|uniform-scatter)", name)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rbb-cover", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		graphName = fs.String("graph", "complete", "graph family: complete | ring | torus | hypercube | random-regular")
+		n         = fs.Int("n", 256, "target number of nodes (rounded to the family's shape)")
+		d         = fs.Int("d", 4, "degree for random-regular")
+		trials    = fs.Int("trials", 3, "independent trials")
+		seed      = fs.Uint64("seed", 1, "master seed")
+		advEvery  = fs.Int64("adversary-every", 0, "inject a fault every K rounds (0 = no adversary)")
+		placeName = fs.String("placement", "all-to-one", "fault placement: all-to-one | half-and-half | uniform-scatter")
+		limitMult = fs.Float64("limit-mult", 500, "round limit as a multiple of n·ln²n")
+		single    = fs.Bool("single", true, "also measure the single-token baseline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 2 {
+		return fmt.Errorf("need n >= 2, got %d", *n)
+	}
+	if *trials < 1 {
+		return fmt.Errorf("need trials >= 1, got %d", *trials)
+	}
+	place, err := buildPlacement(*placeName)
+	if err != nil {
+		return err
+	}
+
+	// Probe the actual node count for the family (torus/hypercube round n).
+	probe, err := buildGraph(*graphName, *n, *d, rng.New(*seed))
+	if err != nil {
+		return err
+	}
+	nodes := probe.N()
+	lnN := math.Log(float64(nodes))
+	limit := int64(*limitMult * float64(nodes) * lnN * lnN)
+
+	var sched adversary.Schedule = adversary.Never{}
+	if *advEvery > 0 {
+		p, err := adversary.NewPeriodic(*advEvery)
+		if err != nil {
+			return err
+		}
+		sched = p
+	}
+
+	fmt.Fprintf(out, "# graph=%s nodes=%d tokens=%d trials=%d seed=%d adversary=%s placement=%s\n",
+		probe.Name(), nodes, nodes, *trials, *seed, sched.Name(), place.Name())
+
+	metrics := []string{"parallel", "congestion", "faults"}
+	if *single {
+		metrics = append(metrics, "single")
+	}
+	res, err := sim.Run(sim.Spec{Trials: *trials, Seed: *seed, Metrics: metrics},
+		func(_ int, src *rng.Source) ([]float64, error) {
+			g, err := buildGraph(*graphName, *n, *d, src)
+			if err != nil {
+				return nil, err
+			}
+			tr, err := walks.NewOnePerNode(g, src, walks.Options{TrackCover: true})
+			if err != nil {
+				return nil, err
+			}
+			cover, faults, ok, err := adversary.RunTraversalUntilCovered(tr, sched, place, limit, src)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, fmt.Errorf("no cover within %d rounds", limit)
+			}
+			row := []float64{float64(cover), float64(tr.WindowMaxLoad()), float64(faults)}
+			if *single {
+				sc, ok := walks.SingleWalkCover(g, 0, src, limit)
+				if !ok {
+					return nil, fmt.Errorf("single walk: no cover within %d rounds", limit)
+				}
+				row = append(row, float64(sc))
+			}
+			return row, nil
+		})
+	if err != nil {
+		return err
+	}
+
+	par := res[0].Summary
+	fmt.Fprintf(out, "parallel cover:  mean %.0f  min %.0f  max %.0f  (n·ln²n = %.0f, ratio %.3f)\n",
+		par.Mean, par.Min, par.Max, float64(nodes)*lnN*lnN, par.Mean/(float64(nodes)*lnN*lnN))
+	fmt.Fprintf(out, "max congestion:  mean %.1f  (ln n = %.2f)\n", res[1].Summary.Mean, lnN)
+	if *advEvery > 0 {
+		fmt.Fprintf(out, "faults injected: mean %.1f\n", res[2].Summary.Mean)
+	}
+	if *single {
+		sg := res[3].Summary
+		fmt.Fprintf(out, "single cover:    mean %.0f  (n·ln n = %.0f, ratio %.3f)\n",
+			sg.Mean, float64(nodes)*lnN, sg.Mean/(float64(nodes)*lnN))
+		fmt.Fprintf(out, "slowdown:        %.2fx  (ln n = %.2f; Corollary 1 predicts O(log n))\n",
+			par.Mean/sg.Mean, lnN)
+	}
+	return nil
+}

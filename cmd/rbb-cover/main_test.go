@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCoverComplete(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-graph", "complete", "-n", "64", "-trials", "2", "-seed", "3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"parallel cover", "single cover", "slowdown", "max congestion"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCoverHypercube(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-graph", "hypercube", "-n", "64", "-trials", "1", "-single=false"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "hypercube-6") {
+		t.Errorf("graph name missing:\n%s", sb.String())
+	}
+	if strings.Contains(sb.String(), "single cover") {
+		t.Error("-single=false still measured the baseline")
+	}
+}
+
+func TestCoverWithAdversary(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-graph", "complete", "-n", "64", "-trials", "1",
+		"-adversary-every", "384", "-placement", "all-to-one"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "faults injected") {
+		t.Errorf("fault count missing:\n%s", sb.String())
+	}
+}
+
+func TestCoverRandomRegular(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-graph", "random-regular", "-n", "32", "-d", "4", "-trials", "1", "-single=false"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "random-4-regular") {
+		t.Errorf("graph name missing:\n%s", sb.String())
+	}
+}
+
+func TestCoverErrors(t *testing.T) {
+	var sb strings.Builder
+	cases := [][]string{
+		{"-graph", "bogus"},
+		{"-n", "1"},
+		{"-trials", "0"},
+		{"-placement", "bogus"},
+	}
+	for _, args := range cases {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, id := range []string{"E01", "E08", "E16"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestRunSingleExperimentText(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-only", "E12", "-scale", "small"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"E12", "shape check: PASS", "suite complete"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-only", "E05", "-scale", "small", "-format", "markdown"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "### E05") || !strings.Contains(out, "| n |") {
+		t.Errorf("markdown output malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "**PASS**") {
+		t.Errorf("pass marker missing:\n%s", out)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-only", "E05", "-scale", "small", "-format", "csv"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "n,trials") {
+		t.Errorf("csv header missing:\n%s", sb.String())
+	}
+}
+
+func TestMultipleIDs(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-only", "E05, E12", "-scale", "small"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "E05") || !strings.Contains(sb.String(), "E12") {
+		t.Errorf("multi-id run incomplete:\n%s", sb.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-only", "E99"}, &sb); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if err := run([]string{"-scale", "bogus"}, &sb); err == nil {
+		t.Error("bogus scale accepted")
+	}
+	if err := run([]string{"-format", "bogus"}, &sb); err == nil {
+		t.Error("bogus format accepted")
+	}
+}

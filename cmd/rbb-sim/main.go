@@ -1,0 +1,174 @@
+// Command rbb-sim runs a single repeated balls-into-bins (or Tetris)
+// simulation and prints a per-round time series plus a final summary.
+//
+// Examples:
+//
+//	rbb-sim -n 1024 -rounds 10000
+//	rbb-sim -n 4096 -init all-in-one -rounds 20000 -report-every 1000
+//	rbb-sim -n 1024 -process tetris -rounds 5000
+//	rbb-sim -n 512 -process token -strategy lifo -rounds 2000
+//	rbb-sim -n 1024 -process choices -d 2 -rounds 5000
+//	rbb-sim -n 1024 -process jackson -rounds 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/jackson"
+	"repro/internal/rng"
+	"repro/internal/tetris"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rbb-sim:", err)
+		os.Exit(1)
+	}
+}
+
+// stepper is the round-advancing surface shared by the engines.
+type stepper interface {
+	Step()
+	Round() int64
+	MaxLoad() int32
+	EmptyBins() int
+}
+
+// jacksonStepper adapts the sequential Jackson network to the stepper
+// interface: one Step is n events (the sequential analogue of a round).
+type jacksonStepper struct {
+	net    *jackson.Network
+	rounds int64
+}
+
+func (j *jacksonStepper) Step()          { j.net.Round(); j.rounds++ }
+func (j *jacksonStepper) Round() int64   { return j.rounds }
+func (j *jacksonStepper) MaxLoad() int32 { return j.net.MaxLoad() }
+func (j *jacksonStepper) EmptyBins() int { return j.net.N() - j.net.NonEmpty() }
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rbb-sim", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		n        = fs.Int("n", 1024, "number of bins")
+		m        = fs.Int("m", 0, "number of balls (default: n)")
+		rounds   = fs.Int64("rounds", 10000, "rounds to simulate")
+		process  = fs.String("process", "original", "process: original | tetris | token | choices | jackson")
+		strategy = fs.String("strategy", "fifo", "token queueing strategy: fifo | lifo | random")
+		initName = fs.String("init", "one-per-bin", "initial configuration: one-per-bin | all-in-one | uniform | zipf")
+		lambda   = fs.Float64("lambda", 0.75, "tetris arrival rate per bin")
+		choices  = fs.Int("d", 2, "number of choices for -process choices")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		every    = fs.Int64("report-every", 0, "print a row every K rounds (0 = auto, ~20 rows)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 1 {
+		return fmt.Errorf("need n >= 1, got %d", *n)
+	}
+	if *rounds < 0 {
+		return fmt.Errorf("need rounds >= 0, got %d", *rounds)
+	}
+	balls := *m
+	if balls == 0 {
+		balls = *n
+	}
+	src := rng.New(*seed)
+	loads, err := config.Make(config.Generator(*initName), *n, balls, src)
+	if err != nil {
+		return err
+	}
+
+	var s stepper
+	switch *process {
+	case "original":
+		p, err := core.NewProcess(loads, src)
+		if err != nil {
+			return err
+		}
+		s = p
+	case "tetris":
+		p, err := tetris.New(loads, src, tetris.Options{Lambda: *lambda})
+		if err != nil {
+			return err
+		}
+		s = p
+	case "token":
+		strat, err := core.ParseStrategy(*strategy)
+		if err != nil {
+			return err
+		}
+		p, err := core.NewTokenProcess(loads, src, core.TokenOptions{Strategy: strat, TrackDelays: true})
+		if err != nil {
+			return err
+		}
+		s = p
+	case "choices":
+		p, err := core.NewChoicesProcess(loads, *choices, src)
+		if err != nil {
+			return err
+		}
+		s = p
+	case "jackson":
+		net, err := jackson.New(loads, src)
+		if err != nil {
+			return err
+		}
+		s = &jacksonStepper{net: net}
+	default:
+		return fmt.Errorf("unknown process %q (want original|tetris|token|choices|jackson)", *process)
+	}
+
+	interval := *every
+	if interval <= 0 {
+		interval = *rounds / 20
+		if interval < 1 {
+			interval = 1
+		}
+	}
+
+	threshold := config.LegitimateThreshold(*n, config.Beta)
+	fmt.Fprintf(out, "# %s process, n=%d m=%d init=%s seed=%d (legitimate: max load <= %d)\n",
+		*process, *n, balls, *initName, *seed, threshold)
+	fmt.Fprintf(out, "%10s  %8s  %11s  %10s\n", "round", "max load", "empty frac", "legitimate")
+
+	var windowMax int32
+	report := func() {
+		frac := float64(s.EmptyBins()) / float64(*n)
+		legit := "yes"
+		if s.MaxLoad() > threshold {
+			legit = "no"
+		}
+		fmt.Fprintf(out, "%10d  %8d  %11.4f  %10s\n", s.Round(), s.MaxLoad(), frac, legit)
+	}
+	report()
+	for i := int64(0); i < *rounds; i++ {
+		s.Step()
+		if s.MaxLoad() > windowMax {
+			windowMax = s.MaxLoad()
+		}
+		if s.Round()%interval == 0 {
+			report()
+		}
+	}
+	fmt.Fprintf(out, "\nwindow max load: %d (%.2f x ln n)\n", windowMax, float64(windowMax)/math.Log(float64(*n)))
+	if tp, ok := s.(*core.TokenProcess); ok {
+		fmt.Fprintf(out, "min ball progress: %d hops; max per-visit delay: %d; mean delay: %.3f\n",
+			tp.MinHops(), tp.MaxDelay(), tp.MeanDelay())
+	}
+	if tet, ok := s.(*tetris.Process); ok {
+		if r, done := tet.AllEmptiedRound(); done {
+			fmt.Fprintf(out, "all bins emptied at least once by round %d (5n = %d)\n", r, 5**n)
+		} else {
+			fmt.Fprintf(out, "some bins have not emptied yet\n")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunOriginal(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "128", "-rounds", "500", "-seed", "7"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"original process", "max load", "window max load"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTetris(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "128", "-rounds", "800", "-process", "tetris", "-init", "all-in-one"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "all bins emptied at least once by round") {
+		t.Errorf("tetris summary missing:\n%s", sb.String())
+	}
+}
+
+func TestRunToken(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "64", "-rounds", "300", "-process", "token", "-strategy", "lifo"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "min ball progress") {
+		t.Errorf("token summary missing:\n%s", sb.String())
+	}
+}
+
+func TestRunChoices(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "128", "-rounds", "400", "-process", "choices", "-d", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "window max load") {
+		t.Errorf("choices summary missing:\n%s", sb.String())
+	}
+}
+
+func TestRunJackson(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "128", "-rounds", "400", "-process", "jackson"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "jackson process") {
+		t.Errorf("jackson header missing:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	cases := [][]string{
+		{"-n", "0"},
+		{"-rounds", "-1"},
+		{"-process", "bogus"},
+		{"-init", "bogus"},
+		{"-process", "token", "-strategy", "bogus"},
+		{"-process", "choices", "-d", "0"},
+		{"-init", "one-per-bin", "-m", "5", "-n", "8"},
+	}
+	for _, args := range cases {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestReportEvery(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "32", "-rounds", "100", "-report-every", "50"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	// Header row + round 0 + rounds 50, 100 = 3 data rows.
+	lines := strings.Count(sb.String(), "\n")
+	if lines < 6 {
+		t.Errorf("too few lines:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,116 @@
+package rbb_test
+
+import (
+	"fmt"
+
+	rbb "repro"
+)
+
+// The canonical run: start from the worst configuration and watch the
+// process self-stabilize (Theorem 1).
+func ExampleNewProcess() {
+	src := rbb.NewSource(42)
+	p, err := rbb.NewProcess(rbb.AllInOne(256, 256), src)
+	if err != nil {
+		panic(err)
+	}
+	threshold := rbb.LegitimateThreshold(256, rbb.Beta)
+	rounds, ok := p.ConvergenceTime(threshold, 50*256)
+	fmt.Println("converged:", ok)
+	fmt.Println("within O(n) rounds:", rounds < 6*256)
+	fmt.Println("balls conserved:", p.Balls() == 256)
+	// Output:
+	// converged: true
+	// within O(n) rounds: true
+	// balls conserved: true
+}
+
+// The Lemma 3 coupling: Tetris pathwise dominates the original process.
+func ExampleNewCoupled() {
+	src := rbb.NewSource(7)
+	loads := rbb.UniformRandom(256, 256, src)
+	c, err := rbb.NewCoupled(loads, src)
+	if err != nil {
+		panic(err)
+	}
+	c.Run(2000)
+	fmt.Println("dominated:", c.Dominated())
+	fmt.Println("case-(ii) rounds:", c.CaseIIRounds())
+	fmt.Println("tetris max >= original max:", c.WindowMaxTetris() >= c.WindowMaxOriginal())
+	// Output:
+	// dominated: true
+	// case-(ii) rounds: 0
+	// tetris max >= original max: true
+}
+
+// The Lemma 5 drift chain: exact absorption tails under the paper's bound.
+func ExampleNewDriftChain() {
+	ch, err := rbb.NewDriftChain(1024)
+	if err != nil {
+		panic(err)
+	}
+	tails, err := ch.ExactTail(8, 200, 400)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("drift: %.2f\n", ch.Drift())
+	fmt.Println("tail under bound at t=200:", tails[200] <= rbb.DriftBound(200))
+	// Output:
+	// drift: -0.25
+	// tail under bound at t=200: true
+}
+
+// Multi-token traversal on the clique (Corollary 1): all n tokens visit
+// all n nodes within O(n log² n) rounds.
+func ExampleNewTraversalOnePerNode() {
+	g, err := rbb.NewCompleteGraph(64)
+	if err != nil {
+		panic(err)
+	}
+	tr, err := rbb.NewTraversalOnePerNode(g, rbb.NewSource(3), rbb.TraversalOptions{TrackCover: true})
+	if err != nil {
+		panic(err)
+	}
+	cover, ok := tr.RunUntilCovered(1 << 20)
+	fmt.Println("covered:", ok)
+	fmt.Println("cover at least n-1 rounds:", cover >= 63)
+	fmt.Println("every token visited every node:", tr.Covered() == 64)
+	// Output:
+	// covered: true
+	// cover at least n-1 rounds: true
+	// every token visited every node: true
+}
+
+// The d-choices extension: two choices collapse the max load.
+func ExampleNewChoicesProcess() {
+	windowMax := func(d int) int32 {
+		p, err := rbb.NewChoicesProcess(rbb.OnePerBin(1024), d, rbb.NewSource(5))
+		if err != nil {
+			panic(err)
+		}
+		var worst int32
+		for i := 0; i < 8192; i++ {
+			p.Step()
+			if p.MaxLoad() > worst {
+				worst = p.MaxLoad()
+			}
+		}
+		return worst
+	}
+	fmt.Println("two choices strictly better:", windowMax(2) < windowMax(1))
+	// Output:
+	// two choices strictly better: true
+}
+
+// Running one experiment from the reproduction suite.
+func ExampleRunExperiment() {
+	res, err := rbb.RunExperiment("E12", rbb.ExperimentConfig{Scale: rbb.ScaleSmall, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.ID, "passed:", res.Pass)
+	fmt.Println(res.Claim)
+	// Output:
+	// E12 passed: true
+	// Appendix B: P(X1=0, X2=0) = 1/8 > 3/32 = P(X1=0)·P(X2=0) for n = 2
+}

@@ -1,0 +1,64 @@
+// Quickstart: run the repeated balls-into-bins process and watch
+// self-stabilization happen — start from the worst configuration (all n
+// balls in one bin), converge to a legitimate configuration in O(n) rounds,
+// then stay there (Theorem 1).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rbb "repro"
+)
+
+func main() {
+	const n = 1024
+	src := rbb.NewSource(2024)
+
+	// Worst-case start: every ball in bin 0.
+	p, err := rbb.NewProcess(rbb.AllInOne(n, n), src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	threshold := rbb.LegitimateThreshold(n, rbb.Beta)
+	fmt.Printf("n = %d balls and bins; legitimate means max load <= %d\n\n", n, threshold)
+	fmt.Printf("%8s  %9s  %10s\n", "round", "max load", "empty bins")
+
+	report := func() {
+		fmt.Printf("%8d  %9d  %10d\n", p.Round(), p.MaxLoad(), p.EmptyBins())
+	}
+	report()
+	for p.Round() < 4*n {
+		p.Step()
+		if p.Round()%512 == 0 {
+			report()
+		}
+	}
+
+	// Theorem 1(b): convergence happened within O(n) rounds.
+	p2, err := rbb.NewProcess(rbb.AllInOne(n, n), rbb.NewSource(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rounds, ok := p2.ConvergenceTime(threshold, int64(50*n))
+	if !ok {
+		log.Fatal("did not converge — this should be astronomically unlikely")
+	}
+	fmt.Printf("\nconvergence to a legitimate configuration took %d rounds (%.2f·n)\n",
+		rounds, float64(rounds)/float64(n))
+
+	// Theorem 1(a): once legitimate, it stays legitimate over a long window.
+	worst := int32(0)
+	for i := 0; i < 8*n; i++ {
+		p2.Step()
+		if p2.MaxLoad() > worst {
+			worst = p2.MaxLoad()
+		}
+	}
+	fmt.Printf("over the next %d rounds the max load never exceeded %d (threshold %d)\n",
+		8*n, worst, threshold)
+	if worst <= threshold {
+		fmt.Println("=> the system is self-stabilizing, as Theorem 1 predicts")
+	}
+}

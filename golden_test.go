@@ -1,0 +1,93 @@
+package rbb
+
+// Golden-trajectory regression tests: the repository promises bit-stable
+// results for a given seed (README "Determinism"). These tests pin short
+// trajectories of every engine; if an RNG, sampling or update-rule change
+// ever alters the sampled law, they fail loudly. Update the constants only
+// for an intentional, documented law change.
+
+import (
+	"fmt"
+	"testing"
+)
+
+func fingerprint(loads []int32) string {
+	h := uint64(1469598103934665603) // FNV-1a offset
+	for _, l := range loads {
+		h ^= uint64(uint32(l))
+		h *= 1099511628211
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+func TestGoldenProcessTrajectory(t *testing.T) {
+	p, err := NewProcess(OnePerBin(64), NewSource(12345))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run(100)
+	const want = "aa906dd892127f4d"
+	if got := fingerprint(p.LoadsCopy()); got != want {
+		t.Fatalf("process trajectory changed: fingerprint %s, want %s", got, want)
+	}
+}
+
+func TestGoldenTetrisTrajectory(t *testing.T) {
+	p, err := NewTetris(OnePerBin(64), NewSource(12345), TetrisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run(100)
+	const want = "07acf08673ffea59"
+	if got := fingerprint(p.LoadsCopy()); got != want {
+		t.Fatalf("tetris trajectory changed: fingerprint %s, want %s", got, want)
+	}
+}
+
+func TestGoldenTokenTrajectory(t *testing.T) {
+	p, err := NewTokenProcess(OnePerBin(64), NewSource(12345), TokenOptions{Strategy: FIFO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run(100)
+	const want = "aa906dd892127f4d" // identical law & stream as the process
+	if got := fingerprint(p.LoadsCopy()); got != want {
+		t.Fatalf("token trajectory changed: fingerprint %s, want %s", got, want)
+	}
+}
+
+func TestGoldenChoicesTrajectory(t *testing.T) {
+	p, err := NewChoicesProcess(OnePerBin(64), 2, NewSource(12345))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run(100)
+	const want = "c572f0bf6e38e4ab"
+	if got := fingerprint(p.LoadsCopy()); got != want {
+		t.Fatalf("choices trajectory changed: fingerprint %s, want %s", got, want)
+	}
+}
+
+func TestGoldenJacksonTrajectory(t *testing.T) {
+	net, err := NewJacksonNetwork(OnePerBin(64), NewSource(12345))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RunRounds(100)
+	const want = "a1cc6180a0a9ecc1"
+	if got := fingerprint(net.LoadsCopy()); got != want {
+		t.Fatalf("jackson trajectory changed: fingerprint %s, want %s", got, want)
+	}
+}
+
+func TestGoldenRNGStream(t *testing.T) {
+	src := NewSource(12345)
+	var acc uint64
+	for i := 0; i < 64; i++ {
+		acc = acc*31 + src.Uint64()
+	}
+	const want = uint64(0xf7f81a9910537942)
+	if acc != want {
+		t.Fatalf("rng stream changed: %016x, want %016x", acc, want)
+	}
+}

@@ -1,0 +1,161 @@
+package rbb
+
+// Integration tests: cross-module flows exercised end-to-end through the
+// public facade, mirroring how the examples and CLIs compose the pieces.
+
+import (
+	"math"
+	"testing"
+)
+
+// TestIntegrationSelfStabilizationCycle drives the full Theorem 1 story:
+// worst-case start → O(n) convergence → stability over a long window →
+// adversarial re-corruption → recovery again.
+func TestIntegrationSelfStabilizationCycle(t *testing.T) {
+	const n = 512
+	src := NewSource(77)
+	p, err := NewProcess(AllInOne(n, n), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	threshold := LegitimateThreshold(n, Beta)
+
+	// Phase 1: convergence.
+	rounds, ok := p.ConvergenceTime(threshold, int64(20*n))
+	if !ok {
+		t.Fatalf("no convergence within 20n")
+	}
+	if rounds > int64(6*n) {
+		t.Fatalf("convergence took %d rounds (> 6n)", rounds)
+	}
+
+	// Phase 2: stability.
+	for i := 0; i < 8*n; i++ {
+		p.Step()
+		if p.MaxLoad() > threshold {
+			t.Fatalf("left legitimate set at round %d (max %d)", p.Round(), p.MaxLoad())
+		}
+	}
+
+	// Phase 3: adversarial corruption and recovery.
+	if err := p.SetLoads(AllInOne(n, n)); err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxLoad() != n {
+		t.Fatal("corruption did not apply")
+	}
+	rounds, ok = p.ConvergenceTime(threshold, int64(20*n))
+	if !ok || rounds > int64(6*n) {
+		t.Fatalf("recovery failed: rounds=%d ok=%v", rounds, ok)
+	}
+}
+
+// TestIntegrationDominationChain verifies the full analytical chain the
+// paper uses: original ≤ Tetris (Lemma 3 coupling) and Tetris per-bin
+// behaviour ≤ the drift chain's bound (Lemma 5/6), at simulation scale.
+func TestIntegrationDominationChain(t *testing.T) {
+	const n = 512
+	src := NewSource(78)
+	loads := UniformRandom(n, n, src)
+	c, err := NewCoupled(loads, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(int64(8 * n))
+	if !c.Dominated() || c.CaseIIRounds() != 0 {
+		t.Fatalf("coupling failed: dominated=%v caseII=%d", c.Dominated(), c.CaseIIRounds())
+	}
+	if c.WindowMaxTetris() < c.WindowMaxOriginal() {
+		t.Fatalf("M̂_T %d < M_T %d", c.WindowMaxTetris(), c.WindowMaxOriginal())
+	}
+	// Lemma 5 bound sanity at this n: from k = window max, absorption
+	// within 8k + 288 rounds should be near-certain.
+	ch, err := NewDriftChain(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := int(c.WindowMaxTetris())
+	tmax := 8*k + 288
+	tails, err := ch.ExactTail(k, tmax, k+tmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tails[tmax] > DriftBound(int64(tmax)) {
+		t.Fatalf("exact tail %v exceeds Lemma 5 bound %v", tails[tmax], DriftBound(int64(tmax)))
+	}
+}
+
+// TestIntegrationTraversalMatchesProcess confirms the §1.1 equivalence:
+// token traversal on the clique-with-self-loops and the token process have
+// identical load laws (same destination stream ⇒ same loads).
+func TestIntegrationTraversalMatchesProcess(t *testing.T) {
+	const n = 128
+	g, err := NewCompleteGraph(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTraversalOnePerNode(g, NewSource(79), TraversalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProcess(OnePerBin(n), NewSource(79))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		tr.Step()
+		p.Step()
+		for u := 0; u < n; u++ {
+			if tr.Load(u) != p.Load(u) {
+				t.Fatalf("round %d bin %d: traversal %d vs process %d", i, u, tr.Load(u), p.Load(u))
+			}
+		}
+	}
+}
+
+// TestIntegrationCoverTimeShape checks Corollary 1's shape at one size:
+// parallel cover within a constant times n ln² n, and slowdown over the
+// single walk below a constant times ln n.
+func TestIntegrationCoverTimeShape(t *testing.T) {
+	const n = 128
+	g, err := NewCompleteGraph(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewSource(80)
+	tr, err := NewTraversalOnePerNode(g, src, TraversalOptions{TrackCover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnN := math.Log(n)
+	lim := int64(100 * float64(n) * lnN * lnN)
+	cover, ok := tr.RunUntilCovered(lim)
+	if !ok {
+		t.Fatal("no parallel cover")
+	}
+	single, ok := SingleWalkCover(g, 0, src, lim)
+	if !ok {
+		t.Fatal("no single cover")
+	}
+	if float64(cover) > 20*float64(n)*lnN*lnN {
+		t.Fatalf("parallel cover %d far above n ln² n = %.0f", cover, float64(n)*lnN*lnN)
+	}
+	if float64(cover)/float64(single) > 10*lnN {
+		t.Fatalf("slowdown %.1f far above ln n", float64(cover)/float64(single))
+	}
+}
+
+// TestIntegrationExperimentSubset runs a representative experiment subset
+// through the facade at small scale (the full suite runs in the
+// experiments package tests and via cmd/rbb-experiments).
+func TestIntegrationExperimentSubset(t *testing.T) {
+	for _, id := range []string{"E03", "E05", "E12"} {
+		res, err := RunExperiment(id, ExperimentConfig{Scale: ScaleSmall, Seed: 5})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !res.Pass {
+			t.Errorf("%s failed shape check", id)
+		}
+	}
+}

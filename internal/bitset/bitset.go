@@ -1,0 +1,145 @@
+// Package bitset provides a dense fixed-size bitset. It backs the
+// per-token visited sets used for cover-time measurement: n tokens × n nodes
+// is n² bits total, so compactness matters (n = 8192 ⇒ 8 MiB).
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Set is a fixed-size bitset of Len() bits. The zero value is an empty set
+// of zero bits; use New for a sized set.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns a Set of n bits, all zero.
+func New(n int) *Set {
+	if n < 0 {
+		panic(fmt.Sprintf("bitset: New(%d) with negative size", n))
+	}
+	return &Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of bits in the set.
+func (s *Set) Len() int { return s.n }
+
+// Test reports whether bit i is set.
+func (s *Set) Test(i int) bool {
+	return s.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Set sets bit i.
+func (s *Set) Set(i int) {
+	s.words[i>>6] |= 1 << uint(i&63)
+}
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) {
+	s.words[i>>6] &^= 1 << uint(i&63)
+}
+
+// TestAndSet sets bit i and reports whether it was already set. This is the
+// hot operation in cover tracking: callers increment their distinct-visit
+// counter exactly when it returns false.
+func (s *Set) TestAndSet(i int) bool {
+	w := i >> 6
+	mask := uint64(1) << uint(i&63)
+	old := s.words[w]&mask != 0
+	s.words[w] |= mask
+	return old
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Reset clears all bits.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Full reports whether every bit in [0, Len()) is set.
+func (s *Set) Full() bool {
+	if s.n == 0 {
+		return true
+	}
+	whole := s.n >> 6
+	for i := 0; i < whole; i++ {
+		if s.words[i] != ^uint64(0) {
+			return false
+		}
+	}
+	if rem := s.n & 63; rem != 0 {
+		mask := (uint64(1) << uint(rem)) - 1
+		return s.words[whole]&mask == mask
+	}
+	return true
+}
+
+// Matrix is an n×m bit matrix stored in one allocation: Row(i) views row i
+// as a Set. It is used as tokens × nodes visited matrix.
+type Matrix struct {
+	words       []uint64
+	rows, cols  int
+	wordsPerRow int
+}
+
+// NewMatrix returns an all-zero rows×cols bit matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("bitset: NewMatrix(%d, %d) with negative size", rows, cols))
+	}
+	wpr := (cols + 63) / 64
+	return &Matrix{
+		words:       make([]uint64, rows*wpr),
+		rows:        rows,
+		cols:        cols,
+		wordsPerRow: wpr,
+	}
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// TestAndSet sets bit (r, c) and reports whether it was already set.
+func (m *Matrix) TestAndSet(r, c int) bool {
+	idx := r*m.wordsPerRow + c>>6
+	mask := uint64(1) << uint(c&63)
+	old := m.words[idx]&mask != 0
+	m.words[idx] |= mask
+	return old
+}
+
+// Test reports whether bit (r, c) is set.
+func (m *Matrix) Test(r, c int) bool {
+	return m.words[r*m.wordsPerRow+c>>6]&(1<<uint(c&63)) != 0
+}
+
+// RowCount returns the number of set bits in row r.
+func (m *Matrix) RowCount(r int) int {
+	c := 0
+	for _, w := range m.words[r*m.wordsPerRow : (r+1)*m.wordsPerRow] {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Reset clears the whole matrix.
+func (m *Matrix) Reset() {
+	for i := range m.words {
+		m.words[i] = 0
+	}
+}

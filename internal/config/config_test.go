@@ -1,0 +1,173 @@
+package config
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestLegitimateThreshold(t *testing.T) {
+	if LegitimateThreshold(1, 4) != 1 {
+		t.Error("n=1 threshold should be 1")
+	}
+	n := 1024
+	want := int32(math.Ceil(4 * math.Log(1024)))
+	if got := LegitimateThreshold(n, 4); got != want {
+		t.Errorf("threshold(1024) = %d, want %d", got, want)
+	}
+}
+
+func TestIsLegitimate(t *testing.T) {
+	n := 256
+	if !IsLegitimate(OnePerBin(n)) {
+		t.Error("one-per-bin must be legitimate")
+	}
+	if IsLegitimate(AllInOne(n, n)) {
+		t.Error("all-in-one must be illegitimate for n=256")
+	}
+}
+
+func TestMaxLoadSumEmpty(t *testing.T) {
+	loads := []int32{0, 3, 1, 0, 5}
+	if MaxLoad(loads) != 5 {
+		t.Error("MaxLoad wrong")
+	}
+	if Sum(loads) != 9 {
+		t.Error("Sum wrong")
+	}
+	if CountEmpty(loads) != 2 {
+		t.Error("CountEmpty wrong")
+	}
+	if MaxLoad(nil) != 0 || Sum(nil) != 0 || CountEmpty(nil) != 0 {
+		t.Error("empty slice handling wrong")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate([]int32{1, 2, 3}, 6); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if err := Validate([]int32{1, 2, 3}, 7); err == nil {
+		t.Error("wrong sum accepted")
+	}
+	if err := Validate([]int32{1, -1, 3}, 3); err == nil {
+		t.Error("negative load accepted")
+	}
+}
+
+func TestOnePerBin(t *testing.T) {
+	loads := OnePerBin(100)
+	if err := Validate(loads, 100); err != nil {
+		t.Fatal(err)
+	}
+	if MaxLoad(loads) != 1 || CountEmpty(loads) != 0 {
+		t.Error("one-per-bin shape wrong")
+	}
+}
+
+func TestAllInOne(t *testing.T) {
+	loads := AllInOne(50, 200)
+	if err := Validate(loads, 200); err != nil {
+		t.Fatal(err)
+	}
+	if loads[0] != 200 || CountEmpty(loads) != 49 {
+		t.Error("all-in-one shape wrong")
+	}
+}
+
+func TestKHeavy(t *testing.T) {
+	loads, err := KHeavy(10, 25, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(loads, 25); err != nil {
+		t.Fatal(err)
+	}
+	// 25/4 = 6 each, remainder 1 on bin 0.
+	if loads[0] != 7 || loads[1] != 6 || loads[3] != 6 || loads[4] != 0 {
+		t.Errorf("KHeavy layout wrong: %v", loads[:5])
+	}
+	if _, err := KHeavy(10, 25, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := KHeavy(10, 25, 11); err == nil {
+		t.Error("k>n accepted")
+	}
+}
+
+func TestKHeavyProperty(t *testing.T) {
+	if err := quick.Check(func(nRaw, mRaw, kRaw uint8) bool {
+		n := int(nRaw)%100 + 1
+		m := int(mRaw)
+		k := int(kRaw)%n + 1
+		loads, err := KHeavy(n, m, k)
+		if err != nil {
+			return false
+		}
+		return Validate(loads, m) == nil
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformRandom(t *testing.T) {
+	r := rng.New(1)
+	loads := UniformRandom(1000, 1000, r)
+	if err := Validate(loads, 1000); err != nil {
+		t.Fatal(err)
+	}
+	// Classical one-shot max load for n=1000 is ~O(ln n / ln ln n) ≈ 3-7;
+	// anything above 15 would be essentially impossible.
+	if m := MaxLoad(loads); m > 15 || m < 2 {
+		t.Errorf("uniform max load = %d, implausible", m)
+	}
+}
+
+func TestZipfSkewedMax(t *testing.T) {
+	r := rng.New(2)
+	loads, err := Zipf(1000, 1000, 1.5, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(loads, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if MaxLoad(loads) < 50 {
+		t.Errorf("Zipf(1.5) max load = %d, expected heavy head", MaxLoad(loads))
+	}
+}
+
+func TestMake(t *testing.T) {
+	r := rng.New(3)
+	for _, g := range Generators() {
+		n, m := 64, 64
+		loads, err := Make(g, n, m, r)
+		if err != nil {
+			t.Fatalf("Make(%s): %v", g, err)
+		}
+		if err := Validate(loads, m); err != nil {
+			t.Fatalf("Make(%s) invalid: %v", g, err)
+		}
+	}
+}
+
+func TestMakeErrors(t *testing.T) {
+	r := rng.New(4)
+	if _, err := Make("bogus", 8, 8, r); err == nil {
+		t.Error("unknown generator accepted")
+	}
+	if _, err := Make(GenOnePerBin, 8, 9, r); err == nil {
+		t.Error("one-per-bin with m != n accepted")
+	}
+	if _, err := Make(GenUniform, 8, 8, nil); err == nil {
+		t.Error("uniform without rng accepted")
+	}
+	if _, err := Make(GenAllInOne, 0, 0, nil); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Make(GenAllInOne, 4, -1, nil); err == nil {
+		t.Error("m<0 accepted")
+	}
+}

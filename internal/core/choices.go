@@ -1,0 +1,174 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// ChoicesProcess is the d-choices generalization of the repeated
+// balls-into-bins process discussed in the paper's related work (§1.3,
+// citing Czumaj & Stemann [36]): every round each non-empty bin releases
+// one ball, and each released ball samples d bins independently and
+// uniformly at random and joins the least loaded of them.
+//
+// Loads are compared against the post-departure, pre-arrival snapshot of
+// the round (all departures are simultaneous, then all balls choose, then
+// all arrivals land), which keeps the process synchronous and well-defined;
+// ties go to the first-sampled bin. d = 1 is exactly the paper's process.
+//
+// The "power of two choices" effect carries over from the one-shot setting:
+// experiment E18 shows the stationary maximum load collapses from Θ(log n)
+// at d = 1 to a small constant for d ≥ 2.
+type ChoicesProcess struct {
+	n        int
+	d        int
+	m        int64
+	loads    []int32
+	arrivals []int32
+	src      *rng.Source
+
+	round   int64
+	maxLoad int32
+	empty   int
+}
+
+// NewChoicesProcess builds a d-choices process over a copy of the initial
+// configuration. d must be ≥ 1.
+func NewChoicesProcess(loads []int32, d int, src *rng.Source) (*ChoicesProcess, error) {
+	n := len(loads)
+	if n < 1 {
+		return nil, errors.New("core: NewChoicesProcess with no bins")
+	}
+	if d < 1 {
+		return nil, fmt.Errorf("core: NewChoicesProcess with d = %d < 1", d)
+	}
+	if src == nil {
+		return nil, errors.New("core: NewChoicesProcess with nil rng source")
+	}
+	p := &ChoicesProcess{
+		n:        n,
+		d:        d,
+		loads:    make([]int32, n),
+		arrivals: make([]int32, n),
+		src:      src,
+	}
+	for i, l := range loads {
+		if l < 0 {
+			return nil, fmt.Errorf("core: bin %d has negative load %d", i, l)
+		}
+		p.loads[i] = l
+		p.m += int64(l)
+	}
+	p.refreshStats()
+	return p, nil
+}
+
+func (p *ChoicesProcess) refreshStats() {
+	var max int32
+	empty := 0
+	for _, l := range p.loads {
+		if l > max {
+			max = l
+		}
+		if l == 0 {
+			empty++
+		}
+	}
+	p.maxLoad = max
+	p.empty = empty
+}
+
+// Step advances one synchronous round: simultaneous departures, then every
+// released ball samples d candidate bins against the post-departure
+// snapshot and joins the least loaded, then all arrivals merge.
+func (p *ChoicesProcess) Step() {
+	n := p.n
+	loads := p.loads
+	departures := 0
+	for u := 0; u < n; u++ {
+		if loads[u] > 0 {
+			loads[u]--
+			departures++
+		}
+	}
+	d := p.d
+	for i := 0; i < departures; i++ {
+		best := p.src.Intn(n)
+		bestLoad := loads[best]
+		for j := 1; j < d; j++ {
+			c := p.src.Intn(n)
+			if loads[c] < bestLoad {
+				best, bestLoad = c, loads[c]
+			}
+		}
+		p.arrivals[best]++
+	}
+	var max int32
+	empty := 0
+	for v := 0; v < n; v++ {
+		l := loads[v] + p.arrivals[v]
+		p.arrivals[v] = 0
+		loads[v] = l
+		if l > max {
+			max = l
+		}
+		if l == 0 {
+			empty++
+		}
+	}
+	p.maxLoad = max
+	p.empty = empty
+	p.round++
+}
+
+// Run advances the process by k rounds.
+func (p *ChoicesProcess) Run(k int64) {
+	for i := int64(0); i < k; i++ {
+		p.Step()
+	}
+}
+
+// N returns the number of bins.
+func (p *ChoicesProcess) N() int { return p.n }
+
+// Choices returns d.
+func (p *ChoicesProcess) Choices() int { return p.d }
+
+// Balls returns the number of balls.
+func (p *ChoicesProcess) Balls() int64 { return p.m }
+
+// Round returns the number of completed rounds.
+func (p *ChoicesProcess) Round() int64 { return p.round }
+
+// MaxLoad returns the current maximum bin load.
+func (p *ChoicesProcess) MaxLoad() int32 { return p.maxLoad }
+
+// EmptyBins returns the current number of empty bins.
+func (p *ChoicesProcess) EmptyBins() int { return p.empty }
+
+// Load returns the load of bin u.
+func (p *ChoicesProcess) Load(u int) int32 { return p.loads[u] }
+
+// LoadsCopy returns a fresh copy of the load vector.
+func (p *ChoicesProcess) LoadsCopy() []int32 {
+	out := make([]int32, p.n)
+	copy(out, p.loads)
+	return out
+}
+
+// CheckInvariants verifies ball conservation and non-negativity.
+func (p *ChoicesProcess) CheckInvariants() error {
+	var s int64
+	for i, l := range p.loads {
+		if l < 0 {
+			return fmt.Errorf("core: choices bin %d negative load %d", i, l)
+		}
+		s += int64(l)
+	}
+	if s != p.m {
+		return fmt.Errorf("core: choices balls not conserved: %d != %d", s, p.m)
+	}
+	return nil
+}

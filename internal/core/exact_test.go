@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEnumerateValidation(t *testing.T) {
+	visit := func([]int, float64) {}
+	if err := EnumerateArrivals(nil, 0, 1, 100, visit); err == nil {
+		t.Error("no bins accepted")
+	}
+	if err := EnumerateArrivals([]int32{1, 1}, 2, 1, 100, visit); err == nil {
+		t.Error("bad observed bin accepted")
+	}
+	if err := EnumerateArrivals([]int32{1, 1}, 0, -1, 100, visit); err == nil {
+		t.Error("negative rounds accepted")
+	}
+	if err := EnumerateArrivals([]int32{1, 1}, 0, 1, 100, nil); err == nil {
+		t.Error("nil visitor accepted")
+	}
+	if err := EnumerateArrivals([]int32{-1, 1}, 0, 1, 100, visit); err == nil {
+		t.Error("negative load accepted")
+	}
+}
+
+func TestEnumerateProbabilitiesSumToOne(t *testing.T) {
+	for _, init := range [][]int32{{1, 1}, {2, 0}, {1, 1, 1}, {3, 0, 0}} {
+		total := 0.0
+		count := 0
+		if err := EnumerateArrivals(init, 0, 2, 1<<20, func(_ []int, p float64) {
+			total += p
+			count++
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(total-1) > 1e-12 {
+			t.Fatalf("init %v: probs sum to %v", init, total)
+		}
+		if count == 0 {
+			t.Fatalf("init %v: no outcomes", init)
+		}
+	}
+}
+
+func TestEnumerateOutcomeCap(t *testing.T) {
+	err := EnumerateArrivals([]int32{1, 1, 1, 1}, 0, 4, 10, func([]int, float64) {})
+	if err == nil {
+		t.Fatal("outcome cap not enforced")
+	}
+}
+
+func TestEnumerateNoBalls(t *testing.T) {
+	calls := 0
+	if err := EnumerateArrivals([]int32{0, 0}, 0, 3, 100, func(arr []int, p float64) {
+		calls++
+		if p != 1 {
+			t.Fatalf("prob = %v", p)
+		}
+		for _, a := range arr {
+			if a != 0 {
+				t.Fatal("arrivals in an empty system")
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+// TestAppendixBExact reproduces Appendix B exactly: n = 2 starting from
+// (1,1), P(X1=0) = 1/4, P(X2=0) = 3/8, P(X1=0, X2=0) = 1/8 > 3/32.
+func TestAppendixBExact(t *testing.T) {
+	var pBoth, p1, p2 float64
+	if err := EnumerateArrivals([]int32{1, 1}, 0, 2, 1000, func(arr []int, p float64) {
+		if arr[0] == 0 {
+			p1 += p
+		}
+		if arr[1] == 0 {
+			p2 += p
+		}
+		if arr[0] == 0 && arr[1] == 0 {
+			pBoth += p
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p1-0.25) > 1e-12 {
+		t.Errorf("P(X1=0) = %v, want 1/4", p1)
+	}
+	if math.Abs(p2-0.375) > 1e-12 {
+		t.Errorf("P(X2=0) = %v, want 3/8", p2)
+	}
+	if math.Abs(pBoth-0.125) > 1e-12 {
+		t.Errorf("P(X1=0,X2=0) = %v, want 1/8", pBoth)
+	}
+	if pBoth <= p1*p2 {
+		t.Errorf("negative-association counterexample failed: %v <= %v", pBoth, p1*p2)
+	}
+}
+
+// TestEnumeratorMatchesEngine cross-validates the exact enumerator against
+// the Monte-Carlo engine on a 3-bin system: the exact P(X1 = 0) must match
+// the simulated frequency.
+func TestEnumeratorMatchesEngine(t *testing.T) {
+	init := []int32{2, 1, 0}
+	var exact float64
+	if err := EnumerateArrivals(init, 0, 1, 1000, func(arr []int, p float64) {
+		if arr[0] == 0 {
+			exact += p
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Two non-empty bins, each missing bin 0 with prob 2/3: exact = 4/9.
+	if math.Abs(exact-4.0/9) > 1e-12 {
+		t.Fatalf("exact = %v, want 4/9", exact)
+	}
+}

@@ -1,0 +1,190 @@
+package coupling
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	r := rng.New(1)
+	if _, err := New(nil, r); err == nil {
+		t.Error("no bins accepted")
+	}
+	if _, err := New([]int32{1}, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := New([]int32{-1}, r); err == nil {
+		t.Error("negative load accepted")
+	}
+}
+
+func TestStartHadQuarterEmpty(t *testing.T) {
+	if StartHadQuarterEmpty(config.OnePerBin(8)) {
+		t.Error("one-per-bin has no empty bins")
+	}
+	if !StartHadQuarterEmpty(config.AllInOne(8, 8)) {
+		t.Error("all-in-one has n-1 empty bins")
+	}
+	if !StartHadQuarterEmpty([]int32{0, 4, 4, 4}) {
+		t.Error("exactly n/4 empty should satisfy")
+	}
+}
+
+// TestDominationHolds is the Lemma 3 check at test scale: starting from a
+// configuration with ≥ n/4 empty bins, Tetris must dominate the original
+// per bin, every round, with zero case-(ii) rounds.
+func TestDominationHolds(t *testing.T) {
+	const n = 512
+	r := rng.New(3)
+	// Uniform throw: about n/e ≈ 0.37n empty bins, satisfying the
+	// hypothesis w.h.p.
+	loads := config.UniformRandom(n, n, r)
+	if !StartHadQuarterEmpty(loads) {
+		t.Skip("rare: initial configuration lacks n/4 empty bins")
+	}
+	c, err := New(loads, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4*n; i++ {
+		c.Step()
+		if !c.Dominated() {
+			t.Fatalf("domination broke at round %d (gap %d)", c.FirstViolationRound(), c.DominationGap())
+		}
+		if c.MaxTetris() < c.MaxOriginal() {
+			t.Fatalf("round %d: max tetris %d < max original %d", i, c.MaxTetris(), c.MaxOriginal())
+		}
+	}
+	if c.CaseIIRounds() != 0 {
+		t.Fatalf("case (ii) occurred %d times", c.CaseIIRounds())
+	}
+	if err := c.CheckInvariants(int64(n)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDominationFromWorstCaseStart(t *testing.T) {
+	// All-in-one trivially has n−1 empty bins, satisfying the hypothesis;
+	// domination should hold throughout convergence.
+	const n = 256
+	c, err := New(config.AllInOne(n, n), rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(int64(6 * n))
+	if !c.Dominated() {
+		t.Fatalf("domination broke at round %d", c.FirstViolationRound())
+	}
+	if c.CaseIIRounds() != 0 {
+		t.Fatalf("case (ii) rounds: %d", c.CaseIIRounds())
+	}
+}
+
+func TestWindowMaximaOrdered(t *testing.T) {
+	const n = 128
+	r := rng.New(7)
+	c, err := New(config.UniformRandom(n, n, r), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(1000)
+	if c.Dominated() && c.WindowMaxTetris() < c.WindowMaxOriginal() {
+		t.Fatalf("M̂_T = %d < M_T = %d despite domination",
+			c.WindowMaxTetris(), c.WindowMaxOriginal())
+	}
+}
+
+func TestBallConservationProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint32) bool {
+		r := rng.New(uint64(seed))
+		n := 40
+		loads := config.UniformRandom(n, n, r)
+		c, err := New(loads, r)
+		if err != nil {
+			return false
+		}
+		c.Run(200)
+		return c.CheckInvariants(int64(n)) == nil
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCaseIITriggersWhenForced(t *testing.T) {
+	// With every bin non-empty, |W| = n > ⌈3n/4⌉, so round 1 must be a
+	// case-(ii) round. This exercises the fallback path deterministically.
+	const n = 64
+	c, err := New(config.OnePerBin(n), rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Step()
+	if c.CaseIIRounds() != 1 {
+		t.Fatalf("case-(ii) rounds after forced round = %d, want 1", c.CaseIIRounds())
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	c, err := New([]int32{2, 0, 0, 0}, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 4 || c.Round() != 0 {
+		t.Fatal("basic accessors wrong")
+	}
+	if c.MaxOriginal() != 2 || c.MaxTetris() != 2 {
+		t.Fatal("initial maxima wrong")
+	}
+	if c.EmptyOriginal() != 3 {
+		t.Fatal("empty count wrong")
+	}
+	if c.FirstViolationRound() != -1 {
+		t.Fatal("violation recorded before any step")
+	}
+	o, tt := c.OriginalLoads(), c.TetrisLoads()
+	o[0] = 42
+	tt[0] = 42
+	if c.MaxOriginal() != 2 || c.MaxTetris() != 2 {
+		t.Fatal("load copies alias internals")
+	}
+	if c.DominationGap() != 0 {
+		t.Fatalf("initial gap = %d, want 0", c.DominationGap())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() *Coupled {
+		c, err := New(config.AllInOne(64, 64), rng.New(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := mk(), mk()
+	a.Run(500)
+	b.Run(500)
+	la, lb := a.OriginalLoads(), b.OriginalLoads()
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if a.WindowMaxTetris() != b.WindowMaxTetris() {
+		t.Fatal("tetris trajectories diverged")
+	}
+}
+
+func BenchmarkCoupledStep512(b *testing.B) {
+	r := rng.New(1)
+	c, err := New(config.UniformRandom(512, 512, r), r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step()
+	}
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"repro/internal/config"
+	"repro/internal/coupling"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/table"
+)
+
+// E04Coupling reproduces Lemma 3: on the joint probability space, Tetris
+// dominates the original process per bin, every round, with zero case-(ii)
+// fallbacks, provided the start has ≥ n/4 empty bins.
+func E04Coupling(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	ns := pick(cfg.Scale, []int{128, 256}, []int{256, 512, 1024, 2048}, []int{512, 1024, 4096, 8192})
+	trials := pick(cfg.Scale, 3, 6, 12)
+	windowMult := pick(cfg.Scale, 8, 32, 64)
+
+	t := table.New("E04 Lemma 3: coupled run of the original and Tetris processes",
+		"n", "window T", "trials", "case-(ii) rounds", "domination violations", "mean M_T", "mean M̂_T", "M̂_T ≥ M_T")
+	pass := true
+	for _, n := range ns {
+		window := int64(windowMult * n)
+		res, err := sim.Run(sim.Spec{
+			Trials:      trials,
+			Seed:        cfg.Seed + uint64(4*n),
+			Metrics:     []string{"caseII", "violated", "mOrig", "mTet"},
+			Parallelism: cfg.Parallelism,
+		}, func(_ int, src *rng.Source) ([]float64, error) {
+			// Uniform throw: ≈ n/e empty bins, satisfying the Lemma 3
+			// hypothesis w.h.p.
+			loads := config.UniformRandom(n, n, src)
+			if !coupling.StartHadQuarterEmpty(loads) {
+				// Astronomically unlikely; regenerate deterministically.
+				loads = config.AllInOne(n, n)
+			}
+			c, err := coupling.New(loads, src)
+			if err != nil {
+				return nil, err
+			}
+			c.Run(window)
+			violated := 0.0
+			if !c.Dominated() {
+				violated = 1
+			}
+			return []float64{
+				float64(c.CaseIIRounds()),
+				violated,
+				float64(c.WindowMaxOriginal()),
+				float64(c.WindowMaxTetris()),
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		caseII := res[0].Summary.Max
+		violations := res[1].Summary.Max
+		mOrig := res[2].Summary.Mean
+		mTet := res[3].Summary.Mean
+		ok := caseII == 0 && violations == 0 && mTet >= mOrig
+		if !ok {
+			pass = false
+		}
+		t.AddRow(n, window, trials, int(caseII), int(violations), mOrig, mTet, boolCell(mTet >= mOrig))
+	}
+	t.AddNote("paper: case (ii) requires |W(t)| > 3n/4, which has probability e^{−Ω(n)} per round (Lemma 2)")
+	return &Result{
+		ID:    "E04",
+		Title: "Coupling and stochastic domination",
+		Claim: "Lemma 3: P(M_T ≥ k) ≤ P(M̂_T ≥ k) + T·e^{−γn} via pathwise domination",
+		Table: t,
+		Pass:  pass,
+	}, nil
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func smallCfg() Config {
+	return Config{Scale: Small, Seed: 12345}
+}
+
+func TestParseScale(t *testing.T) {
+	for _, s := range []string{"small", "medium", "large"} {
+		if _, err := ParseScale(s); err != nil {
+			t.Errorf("ParseScale(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Error("bogus scale accepted")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 19 {
+		t.Fatalf("registry has %d experiments, want 19", len(reg))
+	}
+	seen := map[string]bool{}
+	for _, e := range reg {
+		if !strings.HasPrefix(e.ID, "E") || len(e.ID) != 3 {
+			t.Errorf("bad experiment id %q", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("%s: incomplete entry", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E04"); !ok {
+		t.Error("E04 not found")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("E99 found")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Scale != Medium || c.Seed != 1 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+}
+
+func TestRatioSpread(t *testing.T) {
+	if got := ratioSpread([]float64{2, 4, 8}); got != 4 {
+		t.Errorf("spread = %v", got)
+	}
+	if ratioSpread(nil) != 0 {
+		t.Error("empty spread should be 0")
+	}
+	if ratioSpread([]float64{0, 1}) != 0 {
+		t.Error("non-positive entries should yield 0")
+	}
+}
+
+// runOne executes an experiment at small scale and applies shared sanity
+// checks.
+func runOne(t *testing.T, id string, wantPass bool) *Result {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("%s not registered", id)
+	}
+	res, err := e.Run(smallCfg())
+	if err != nil {
+		t.Fatalf("%s failed: %v", id, err)
+	}
+	if res.ID != id {
+		t.Errorf("result id %q, want %q", res.ID, id)
+	}
+	if res.Table == nil || res.Table.NumRows() == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	if res.Claim == "" || res.Title == "" {
+		t.Errorf("%s missing metadata", id)
+	}
+	if wantPass && !res.Pass {
+		var sb strings.Builder
+		_ = res.Table.RenderText(&sb)
+		t.Errorf("%s did not pass its shape check:\n%s", id, sb.String())
+	}
+	return res
+}
+
+func TestE01(t *testing.T) { runOne(t, "E01", true) }
+func TestE02(t *testing.T) { runOne(t, "E02", true) }
+func TestE03(t *testing.T) { runOne(t, "E03", true) }
+func TestE04(t *testing.T) { runOne(t, "E04", true) }
+func TestE05(t *testing.T) { runOne(t, "E05", true) }
+func TestE06(t *testing.T) { runOne(t, "E06", true) }
+func TestE07(t *testing.T) { runOne(t, "E07", true) }
+func TestE08(t *testing.T) { runOne(t, "E08", true) }
+func TestE09(t *testing.T) { runOne(t, "E09", true) }
+func TestE10(t *testing.T) { runOne(t, "E10", true) }
+func TestE11(t *testing.T) { runOne(t, "E11", true) }
+func TestE12(t *testing.T) { runOne(t, "E12", true) }
+func TestE13(t *testing.T) { runOne(t, "E13", true) }
+func TestE14(t *testing.T) { runOne(t, "E14", true) }
+func TestE15(t *testing.T) { runOne(t, "E15", true) }
+func TestE16(t *testing.T) { runOne(t, "E16", true) }
+func TestE17(t *testing.T) { runOne(t, "E17", true) }
+func TestE18(t *testing.T) { runOne(t, "E18", true) }
+func TestE19(t *testing.T) { runOne(t, "E19", true) }
+
+func TestRunAllSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short mode")
+	}
+	results, err := RunAll(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(Registry()) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if !r.Pass {
+			t.Errorf("%s failed its shape check", r.ID)
+		}
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	// The same config must yield byte-identical tables.
+	run := func() string {
+		res, err := E05TetrisEmptying(smallCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := res.Table.RenderCSV(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if run() != run() {
+		t.Fatal("experiment not deterministic")
+	}
+}

@@ -1,0 +1,350 @@
+// Package jackson implements the closed Jackson network the paper singles
+// out (§1.3) as the closest classical queueing model: n stations with unit
+// exponential service, uniform routing, and m circulating jobs — the
+// *sequential* counterpart of the repeated balls-into-bins process.
+//
+// Because service times are exponential and routing uniform, the embedded
+// jump chain is simple: at every event one uniformly chosen non-empty
+// station completes a job, which joins a uniformly chosen station. Unlike
+// the paper's synchronous process, this chain is reversible with a
+// product-form stationary distribution; with equal rates it is the uniform
+// distribution over all C(m+n−1, n−1) compositions of m jobs into n queues.
+// That classical fact gives an *exact* stationary max-load law
+// (StationaryMaxCDF, via inclusion–exclusion over compositions), which
+// experiment E19 compares against the parallel process: the paper's point
+// is that its process is *not* amenable to this product-form machinery,
+// yet achieves the same Θ(log n) congestion.
+package jackson
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Network is a closed Jackson network on the complete graph (uniform
+// routing, self-loops included), simulated through its embedded jump
+// chain. One "round" is defined as n consecutive events, matching the
+// parallel process's n potential moves per round. Not safe for concurrent
+// use.
+type Network struct {
+	n     int
+	m     int64
+	loads []int32
+	src   *rng.Source
+
+	// nonEmpty holds the indices of non-empty stations; position[u] is u's
+	// index in nonEmpty (or -1). This makes uniform sampling of a
+	// non-empty station O(1).
+	nonEmpty []int32
+	position []int32
+
+	events    int64
+	windowMax int32
+}
+
+// New builds a network over a copy of the initial configuration.
+func New(loads []int32, src *rng.Source) (*Network, error) {
+	n := len(loads)
+	if n < 1 {
+		return nil, errors.New("jackson: New with no stations")
+	}
+	if src == nil {
+		return nil, errors.New("jackson: New with nil rng source")
+	}
+	net := &Network{
+		n:        n,
+		loads:    make([]int32, n),
+		src:      src,
+		position: make([]int32, n),
+	}
+	for i := range net.position {
+		net.position[i] = -1
+	}
+	for i, l := range loads {
+		if l < 0 {
+			return nil, fmt.Errorf("jackson: station %d has negative load %d", i, l)
+		}
+		net.loads[i] = l
+		net.m += int64(l)
+		if l > 0 {
+			net.position[i] = int32(len(net.nonEmpty))
+			net.nonEmpty = append(net.nonEmpty, int32(i))
+		}
+		if l > net.windowMax {
+			net.windowMax = l
+		}
+	}
+	return net, nil
+}
+
+// removeNonEmpty drops station u from the non-empty set (its load hit 0).
+func (net *Network) removeNonEmpty(u int32) {
+	pos := net.position[u]
+	last := net.nonEmpty[len(net.nonEmpty)-1]
+	net.nonEmpty[pos] = last
+	net.position[last] = pos
+	net.nonEmpty = net.nonEmpty[:len(net.nonEmpty)-1]
+	net.position[u] = -1
+}
+
+// addNonEmpty inserts station u into the non-empty set.
+func (net *Network) addNonEmpty(u int32) {
+	net.position[u] = int32(len(net.nonEmpty))
+	net.nonEmpty = append(net.nonEmpty, u)
+}
+
+// Event executes one jump of the embedded chain: a uniformly random
+// non-empty station completes one job, which moves to a uniformly random
+// station. No-op if the network is empty.
+func (net *Network) Event() {
+	if len(net.nonEmpty) == 0 {
+		net.events++
+		return
+	}
+	u := net.nonEmpty[net.src.Intn(len(net.nonEmpty))]
+	net.loads[u]--
+	if net.loads[u] == 0 {
+		net.removeNonEmpty(u)
+	}
+	v := int32(net.src.Intn(net.n))
+	if net.loads[v] == 0 {
+		net.addNonEmpty(v)
+	}
+	net.loads[v]++
+	if net.loads[v] > net.windowMax {
+		net.windowMax = net.loads[v]
+	}
+	net.events++
+}
+
+// Round executes n events — the sequential analogue of one synchronous
+// round of the parallel process.
+func (net *Network) Round() {
+	for i := 0; i < net.n; i++ {
+		net.Event()
+	}
+}
+
+// RunRounds executes k rounds.
+func (net *Network) RunRounds(k int64) {
+	for i := int64(0); i < k; i++ {
+		net.Round()
+	}
+}
+
+// N returns the number of stations.
+func (net *Network) N() int { return net.n }
+
+// Jobs returns the number of circulating jobs m.
+func (net *Network) Jobs() int64 { return net.m }
+
+// Events returns the number of executed jump events.
+func (net *Network) Events() int64 { return net.events }
+
+// MaxLoad returns the current maximum queue length (O(n) scan).
+func (net *Network) MaxLoad() int32 {
+	var max int32
+	for _, l := range net.loads {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// WindowMaxLoad returns the running maximum queue length observed since
+// construction.
+func (net *Network) WindowMaxLoad() int32 { return net.windowMax }
+
+// Load returns the queue length at station u.
+func (net *Network) Load(u int) int32 { return net.loads[u] }
+
+// NonEmpty returns the current number of busy stations.
+func (net *Network) NonEmpty() int { return len(net.nonEmpty) }
+
+// LoadsCopy returns a copy of the queue-length vector.
+func (net *Network) LoadsCopy() []int32 {
+	out := make([]int32, net.n)
+	copy(out, net.loads)
+	return out
+}
+
+// CheckInvariants verifies job conservation and non-empty-set consistency.
+func (net *Network) CheckInvariants() error {
+	var s int64
+	busy := 0
+	for u, l := range net.loads {
+		if l < 0 {
+			return fmt.Errorf("jackson: station %d negative load %d", u, l)
+		}
+		s += int64(l)
+		if l > 0 {
+			busy++
+			pos := net.position[u]
+			if pos < 0 || int(pos) >= len(net.nonEmpty) || net.nonEmpty[pos] != int32(u) {
+				return fmt.Errorf("jackson: station %d missing from non-empty set", u)
+			}
+		} else if net.position[u] != -1 {
+			return fmt.Errorf("jackson: empty station %d still indexed", u)
+		}
+	}
+	if s != net.m {
+		return fmt.Errorf("jackson: jobs not conserved: %d != %d", s, net.m)
+	}
+	if busy != len(net.nonEmpty) {
+		return fmt.Errorf("jackson: non-empty set size %d != %d busy stations", len(net.nonEmpty), busy)
+	}
+	return nil
+}
+
+// StationaryMaxCDF returns P(max queue ≤ k) under the exact product-form
+// stationary distribution — the uniform distribution over compositions of
+// m jobs into n queues: N_k(n, m) / C(m+n−1, n−1), where N_k counts
+// compositions with every part ≤ k.
+//
+// Numerics: neither the textbook inclusion–exclusion (catastrophic
+// cancellation beyond n ≈ 100) nor a raw count DP (the target sum m lies
+// astronomically deep in the tail of the count distribution, underflowing
+// any single scaling) survives large n. Instead we use the exponential
+// tilt: uniform-over-compositions is the law of n i.i.d. Geometric(θ)
+// parts conditioned on their sum being m, for any θ ∈ (0,1), so
+//
+//	CDF = P(all parts ≤ k, Σ = m) / P(Σ = m)
+//
+// with the numerator computed by a sub-probability DP over truncated
+// geometric parts and the denominator in closed form,
+// C(m+n−1, n−1)(1−θ)ⁿθᵐ. Choosing θ = m/(m+n) centers the sum's mode at
+// exactly m, so all DP mass stays within float range (a per-stage
+// max-rescale guards the extremes). Cost O(n·m·min(k, m)).
+func StationaryMaxCDF(n, m, k int) (float64, error) {
+	if n < 1 || m < 0 || k < 0 {
+		return 0, fmt.Errorf("jackson: StationaryMaxCDF(%d, %d, %d) invalid", n, m, k)
+	}
+	if m == 0 || k >= m {
+		return 1, nil
+	}
+	if k == 0 {
+		// Only the all-zero composition; impossible for m > 0.
+		return 0, nil
+	}
+	if int64(k)*int64(n) < int64(m) {
+		// Even k in every queue cannot hold m jobs.
+		return 0, nil
+	}
+	theta := float64(m) / float64(m+n)
+	logTheta := math.Log(theta)
+	log1mTheta := math.Log1p(-theta)
+	// Truncated geometric weights w[a] = (1−θ)θ^a, a = 0..k.
+	if k > m {
+		k = m
+	}
+	w := make([]float64, k+1)
+	for a := 0; a <= k; a++ {
+		w[a] = math.Exp(log1mTheta + float64(a)*logTheta)
+	}
+	f := make([]float64, m+1)
+	g := make([]float64, m+1)
+	f[0] = 1
+	logScale := 0.0
+	for j := 0; j < n; j++ {
+		for s := range g {
+			g[s] = 0
+		}
+		var max float64
+		for s := 0; s <= m; s++ {
+			fs := f[s]
+			if fs == 0 {
+				continue
+			}
+			hi := k
+			if s+hi > m {
+				hi = m - s
+			}
+			for a := 0; a <= hi; a++ {
+				g[s+a] += fs * w[a]
+			}
+		}
+		for _, v := range g {
+			if v > max {
+				max = v
+			}
+		}
+		if max == 0 {
+			return 0, nil
+		}
+		inv := 1 / max
+		for s := range g {
+			g[s] *= inv
+		}
+		logScale += math.Log(max)
+		f, g = g, f
+	}
+	if f[m] <= 0 {
+		return 0, nil
+	}
+	logNum := logScale + math.Log(f[m])
+	logDen := logChoose(m+n-1, n-1) + float64(n)*log1mTheta + float64(m)*logTheta
+	cdf := math.Exp(logNum - logDen)
+	if cdf > 1 {
+		cdf = 1
+	}
+	return cdf, nil
+}
+
+// StationaryMaxQuantile returns the smallest k with
+// StationaryMaxCDF(n, m, k) ≥ q, by doubling then binary search on the
+// monotone CDF (O(log m) CDF evaluations).
+func StationaryMaxQuantile(n, m int, q float64) (int, error) {
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("jackson: quantile %v outside [0,1]", q)
+	}
+	if m == 0 {
+		return 0, nil
+	}
+	at := func(k int) (float64, error) { return StationaryMaxCDF(n, m, k) }
+	// Find an upper bracket by doubling.
+	hi := 1
+	for {
+		cdf, err := at(hi)
+		if err != nil {
+			return 0, err
+		}
+		if cdf >= q || hi >= m {
+			break
+		}
+		hi *= 2
+		if hi > m {
+			hi = m
+		}
+	}
+	lo := 0
+	for lo < hi {
+		mid := (lo + hi) / 2
+		cdf, err := at(mid)
+		if err != nil {
+			return 0, err
+		}
+		if cdf >= q {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, nil
+}
+
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	if k == 0 || k == n {
+		return 0
+	}
+	ln, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return ln - lk - lnk
+}

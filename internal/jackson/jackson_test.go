@@ -1,0 +1,241 @@
+package jackson
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	r := rng.New(1)
+	if _, err := New(nil, r); err == nil {
+		t.Error("no stations accepted")
+	}
+	if _, err := New([]int32{1}, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := New([]int32{-1}, r); err == nil {
+		t.Error("negative load accepted")
+	}
+}
+
+func TestEventConservesJobs(t *testing.T) {
+	if err := quick.Check(func(seed uint32) bool {
+		r := rng.New(uint64(seed))
+		net, err := New(config.UniformRandom(30, 30, r), r)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 1000; i++ {
+			net.Event()
+			if net.CheckInvariants() != nil {
+				return false
+			}
+		}
+		return net.Jobs() == 30 && net.Events() == 1000
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyNetworkNoop(t *testing.T) {
+	net, err := New([]int32{0, 0, 0}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Round()
+	if net.MaxLoad() != 0 || net.Jobs() != 0 {
+		t.Fatal("empty network changed state")
+	}
+	if net.Events() != 3 {
+		t.Fatalf("events = %d, want 3", net.Events())
+	}
+}
+
+func TestSingleStation(t *testing.T) {
+	net, err := New([]int32{4}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RunRounds(10)
+	if net.Load(0) != 4 {
+		t.Fatal("single station should self-loop")
+	}
+	if err := net.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundIsNEvents(t *testing.T) {
+	net, err := New(config.OnePerBin(17), rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Round()
+	if net.Events() != 17 {
+		t.Fatalf("events = %d, want 17", net.Events())
+	}
+}
+
+func TestWindowMaxMonotone(t *testing.T) {
+	net, err := New(config.OnePerBin(64), rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := net.WindowMaxLoad()
+	for i := 0; i < 200; i++ {
+		net.Round()
+		if net.WindowMaxLoad() < prev {
+			t.Fatal("window max decreased")
+		}
+		if net.MaxLoad() > net.WindowMaxLoad() {
+			t.Fatal("current max exceeds window max")
+		}
+		prev = net.WindowMaxLoad()
+	}
+}
+
+func TestStationaryMaxCDFSmallExact(t *testing.T) {
+	// n=2, m=2: compositions (0,2),(1,1),(2,0); P(max<=1) = 1/3.
+	cdf, err := StationaryMaxCDF(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cdf-1.0/3) > 1e-12 {
+		t.Fatalf("CDF(2,2,1) = %v, want 1/3", cdf)
+	}
+	// n=3, m=2: 6 compositions, 3 with max<=1.
+	cdf, err = StationaryMaxCDF(3, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cdf-0.5) > 1e-12 {
+		t.Fatalf("CDF(3,2,1) = %v, want 1/2", cdf)
+	}
+	// k >= m is certain.
+	cdf, err = StationaryMaxCDF(5, 3, 3)
+	if err != nil || cdf != 1 {
+		t.Fatalf("CDF at k=m should be 1, got %v (%v)", cdf, err)
+	}
+}
+
+func TestStationaryMaxCDFMonotone(t *testing.T) {
+	prev := 0.0
+	for k := 0; k <= 40; k++ {
+		cdf, err := StationaryMaxCDF(64, 64, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cdf < prev-1e-9 {
+			t.Fatalf("CDF not monotone at k=%d: %v < %v", k, cdf, prev)
+		}
+		prev = cdf
+	}
+	if prev < 1-1e-9 {
+		t.Fatalf("CDF did not reach 1: %v", prev)
+	}
+}
+
+func TestStationaryMaxCDFValidation(t *testing.T) {
+	if _, err := StationaryMaxCDF(0, 1, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := StationaryMaxCDF(1, -1, 1); err == nil {
+		t.Error("m<0 accepted")
+	}
+	if _, err := StationaryMaxCDF(1, 1, -1); err == nil {
+		t.Error("k<0 accepted")
+	}
+}
+
+func TestStationaryMaxQuantile(t *testing.T) {
+	q, err := StationaryMaxQuantile(2, 2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 1 { // CDF(1) = 1/3 >= 0.3
+		t.Fatalf("quantile = %d, want 1", q)
+	}
+	q, err = StationaryMaxQuantile(2, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 2 { // CDF(1)=1/3 < 0.5, CDF(2)=1
+		t.Fatalf("quantile = %d, want 2", q)
+	}
+	if _, err := StationaryMaxQuantile(2, 2, 1.5); err == nil {
+		t.Error("q>1 accepted")
+	}
+}
+
+// TestEmpiricalMatchesProductForm validates simulator and formula against
+// each other: re-weighting each event sample by 1/|W| converts the
+// embedded jump chain's time-average into the CTMC's product-form
+// stationary law, whose station-0 marginal is
+// P(q0 = j) = C(m−j+n−2, n−2)/C(m+n−1, n−1).
+func TestEmpiricalMatchesProductForm(t *testing.T) {
+	const n, m = 6, 6
+	r := rng.New(9)
+	net, err := New(config.UniformRandom(n, m, r), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RunRounds(2000) // warm up
+	var wZero, wTotal float64
+	const events = 2000000
+	for i := 0; i < events; i++ {
+		net.Event()
+		w := 1.0 / float64(net.NonEmpty())
+		wTotal += w
+		if net.Load(0) == 0 {
+			wZero += w
+		}
+	}
+	got := wZero / wTotal
+	want := math.Exp(logChoose(m+n-2, n-2) - logChoose(m+n-1, n-1)) // j=0 marginal
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("P(q0=0): weighted empirical %v vs product form %v", got, want)
+	}
+}
+
+// TestSequentialMaxLogarithmic verifies the classical shape: the
+// stationary max of the closed Jackson network is Θ(log n), like the
+// parallel process.
+func TestSequentialMaxLogarithmic(t *testing.T) {
+	const n = 1024
+	p50, err := StationaryMaxQuantile(n, n, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := math.Log(n)
+	if float64(p50) < ln/math.Log(math.Log(n)) || float64(p50) > 4*ln {
+		t.Fatalf("stationary median max %d outside the Θ(log n) band (ln n = %.1f)", p50, ln)
+	}
+	// Simulated window max should land in the same band.
+	r := rng.New(11)
+	net, err := New(config.OnePerBin(n), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RunRounds(8 * 8) // short warm window
+	net.RunRounds(8 * int64(8))
+	wm := float64(net.WindowMaxLoad())
+	if wm < 2 || wm > 6*ln {
+		t.Fatalf("simulated window max %v outside band", wm)
+	}
+}
+
+func BenchmarkEvent(b *testing.B) {
+	r := rng.New(1)
+	net, err := New(config.OnePerBin(1024), r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Event()
+	}
+}

@@ -1,0 +1,406 @@
+// Package stats provides the statistical machinery the experiment harness
+// uses to summarize trials and check the paper's predicted shapes: streaming
+// moments (Welford), exact sample quantiles, normal-approximation confidence
+// intervals, least-squares fits (for the M*/ln n, T_conv/n and
+// cover/(n·ln²n) slopes), and a chi-square goodness-of-fit helper built on
+// the regularized incomplete gamma function.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stream accumulates count, mean, variance (Welford), min and max in O(1)
+// memory. The zero value is ready to use.
+type Stream struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add accumulates one observation.
+func (s *Stream) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Stream) N() int64 { return s.n }
+
+// Mean returns the sample mean (0 for an empty stream).
+func (s *Stream) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance (0 with fewer than 2 points).
+func (s *Stream) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Stream) Std() float64 { return math.Sqrt(s.Var()) }
+
+// SE returns the standard error of the mean.
+func (s *Stream) SE() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.Std() / math.Sqrt(float64(s.n))
+}
+
+// Min returns the smallest observation (0 for an empty stream).
+func (s *Stream) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation (0 for an empty stream).
+func (s *Stream) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// CI95 returns the half-width of the 95% normal-approximation confidence
+// interval for the mean.
+func (s *Stream) CI95() float64 { return 1.96 * s.SE() }
+
+// Merge folds other into s (parallel reduction).
+func (s *Stream) Merge(other *Stream) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *other
+		return
+	}
+	n1, n2 := float64(s.n), float64(other.n)
+	d := other.mean - s.mean
+	tot := n1 + n2
+	s.m2 += other.m2 + d*d*n1*n2/tot
+	s.mean += d * n2 / tot
+	s.n += other.n
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+}
+
+// Summary is a batch summary of a sample: moments plus exact quantiles.
+type Summary struct {
+	N                  int
+	Mean, Std, SE      float64
+	Min, Max           float64
+	P50, P90, P95, P99 float64
+}
+
+// Summarize computes a Summary from the sample xs (which it does not
+// modify). An empty sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var st Stream
+	for _, x := range xs {
+		st.Add(x)
+	}
+	return Summary{
+		N:    len(xs),
+		Mean: st.Mean(),
+		Std:  st.Std(),
+		SE:   st.SE(),
+		Min:  sorted[0],
+		Max:  sorted[len(sorted)-1],
+		P50:  Quantile(sorted, 0.50),
+		P90:  Quantile(sorted, 0.90),
+		P95:  Quantile(sorted, 0.95),
+		P99:  Quantile(sorted, 0.99),
+	}
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of an already-sorted sample
+// using linear interpolation between order statistics. It panics if sorted
+// is empty.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Fit is a least-squares line y = Slope*x + Intercept with goodness R2.
+type Fit struct {
+	Slope, Intercept, R2 float64
+}
+
+// LinearFit fits y against x by ordinary least squares. It returns an error
+// if the inputs differ in length, have fewer than 2 points, or x is
+// constant.
+func LinearFit(x, y []float64) (Fit, error) {
+	if len(x) != len(y) {
+		return Fit{}, fmt.Errorf("stats: LinearFit length mismatch %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return Fit{}, errors.New("stats: LinearFit needs at least 2 points")
+	}
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{}, errors.New("stats: LinearFit with constant x")
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	r2 := 1.0
+	if syy > 0 {
+		r2 = sxy * sxy / (sxx * syy)
+	}
+	return Fit{Slope: slope, Intercept: intercept, R2: r2}, nil
+}
+
+// FitThroughOrigin fits y = Slope*x (no intercept), the natural model when
+// the theory predicts exact proportionality (e.g. convergence time vs n).
+func FitThroughOrigin(x, y []float64) (Fit, error) {
+	if len(x) != len(y) {
+		return Fit{}, fmt.Errorf("stats: FitThroughOrigin length mismatch %d vs %d", len(x), len(y))
+	}
+	if len(x) < 1 {
+		return Fit{}, errors.New("stats: FitThroughOrigin needs at least 1 point")
+	}
+	var sxx, sxy float64
+	for i := range x {
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	if sxx == 0 {
+		return Fit{}, errors.New("stats: FitThroughOrigin with all-zero x")
+	}
+	slope := sxy / sxx
+	// R² relative to the zero function.
+	var ssRes, ssTot float64
+	for i := range x {
+		r := y[i] - slope*x[i]
+		ssRes += r * r
+		ssTot += y[i] * y[i]
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return Fit{Slope: slope, R2: r2}, nil
+}
+
+// ChiSquareUniform returns the Pearson statistic and p-value for the null
+// hypothesis that counts are uniform draws over len(counts) cells.
+func ChiSquareUniform(counts []int) (chi2, p float64, err error) {
+	k := len(counts)
+	if k < 2 {
+		return 0, 0, errors.New("stats: ChiSquareUniform needs >= 2 cells")
+	}
+	total := 0
+	for _, c := range counts {
+		if c < 0 {
+			return 0, 0, errors.New("stats: negative count")
+		}
+		total += c
+	}
+	if total == 0 {
+		return 0, 0, errors.New("stats: no observations")
+	}
+	expected := float64(total) / float64(k)
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	p = ChiSquareSurvival(chi2, float64(k-1))
+	return chi2, p, nil
+}
+
+// ChiSquareSurvival returns P(X > x) for X ~ chi-square with df degrees of
+// freedom, via the regularized upper incomplete gamma function.
+func ChiSquareSurvival(x, df float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return 1 - GammaP(df/2, x/2)
+}
+
+// GammaP returns the regularized lower incomplete gamma function P(a, x),
+// using the series expansion for x < a+1 and the continued fraction
+// otherwise (Numerical Recipes style).
+func GammaP(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0
+	}
+	if x < a+1 {
+		return gammaSeries(a, x)
+	}
+	return 1 - gammaCF(a, x)
+}
+
+func gammaSeries(a, x float64) float64 {
+	const itmax = 500
+	const eps = 1e-14
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < itmax; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaCF(a, x float64) float64 {
+	const itmax = 500
+	const eps = 1e-14
+	const fpmin = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= itmax; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// Histogram counts integer observations into unit bins [min, max].
+type Histogram struct {
+	min, max int
+	counts   []int64
+	total    int64
+}
+
+// NewHistogram creates a histogram over the closed integer range
+// [min, max]. Observations outside the range are clamped into the end bins.
+func NewHistogram(min, max int) (*Histogram, error) {
+	if max < min {
+		return nil, fmt.Errorf("stats: NewHistogram max %d < min %d", max, min)
+	}
+	return &Histogram{min: min, max: max, counts: make([]int64, max-min+1)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v int) {
+	if v < h.min {
+		v = h.min
+	}
+	if v > h.max {
+		v = h.max
+	}
+	h.counts[v-h.min]++
+	h.total++
+}
+
+// Count returns the count in bin v (0 outside the range).
+func (h *Histogram) Count(v int) int64 {
+	if v < h.min || v > h.max {
+		return 0
+	}
+	return h.counts[v-h.min]
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Quantile returns the smallest bin value v with CDF(v) >= q.
+func (h *Histogram) Quantile(q float64) int {
+	if h.total == 0 {
+		return h.min
+	}
+	target := int64(math.Ceil(q * float64(h.total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return h.min + i
+		}
+	}
+	return h.max
+}
+
+// Mean returns the histogram mean.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var s float64
+	for i, c := range h.counts {
+		s += float64(h.min+i) * float64(c)
+	}
+	return s / float64(h.total)
+}

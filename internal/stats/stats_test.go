@@ -1,0 +1,330 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestStreamMoments(t *testing.T) {
+	var s Stream
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", s.Mean())
+	}
+	// Unbiased variance of this classic sample is 32/7.
+	if math.Abs(s.Var()-32.0/7) > 1e-12 {
+		t.Errorf("var = %v, want %v", s.Var(), 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	var s Stream
+	if s.Mean() != 0 || s.Var() != 0 || s.Min() != 0 || s.Max() != 0 || s.SE() != 0 {
+		t.Fatal("empty stream should return zeros")
+	}
+}
+
+func TestStreamMergeMatchesSequential(t *testing.T) {
+	if err := quick.Check(func(seed uint32, split uint8) bool {
+		r := rng.New(uint64(seed))
+		n := 50 + int(split)
+		k := int(split) % n
+		var all, a, b Stream
+		for i := 0; i < n; i++ {
+			x := r.NormFloat64()*3 + 1
+			all.Add(x)
+			if i < k {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(&b)
+		return a.N() == all.N() &&
+			math.Abs(a.Mean()-all.Mean()) < 1e-9 &&
+			math.Abs(a.Var()-all.Var()) < 1e-9 &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamMergeEmpty(t *testing.T) {
+	var a, b Stream
+	a.Add(1)
+	a.Add(3)
+	a.Merge(&b) // merging empty is a no-op
+	if a.N() != 2 || a.Mean() != 2 {
+		t.Fatal("merge with empty changed stats")
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.N() != 2 || b.Mean() != 2 {
+		t.Fatal("merge into empty failed")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	s := Summarize(xs)
+	if s.N != 101 || s.Min != 0 || s.Max != 100 {
+		t.Fatalf("bad summary %+v", s)
+	}
+	if s.P50 != 50 {
+		t.Errorf("P50 = %v", s.P50)
+	}
+	if s.P90 != 90 {
+		t.Errorf("P90 = %v", s.P90)
+	}
+	if math.Abs(s.Mean-50) > 1e-12 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if Summarize(nil).N != 0 {
+		t.Error("empty summarize should be zero")
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Summarize mutated input")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if q := Quantile(sorted, 0.5); math.Abs(q-25) > 1e-12 {
+		t.Errorf("median = %v, want 25", q)
+	}
+	if Quantile(sorted, 0) != 10 || Quantile(sorted, 1) != 40 {
+		t.Error("extreme quantiles wrong")
+	}
+	if Quantile(sorted, -0.5) != 10 || Quantile(sorted, 1.5) != 40 {
+		t.Error("clamping wrong")
+	}
+}
+
+func TestQuantileEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 3*v - 7
+	}
+	f, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Slope-3) > 1e-12 || math.Abs(f.Intercept+7) > 1e-12 || math.Abs(f.R2-1) > 1e-12 {
+		t.Fatalf("fit = %+v", f)
+	}
+}
+
+func TestLinearFitNoise(t *testing.T) {
+	r := rng.New(4)
+	n := 500
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = 2*x[i] + 5 + r.NormFloat64()*3
+	}
+	f, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Slope-2) > 0.01 {
+		t.Errorf("slope = %v", f.Slope)
+	}
+	if f.R2 < 0.99 {
+		t.Errorf("R2 = %v", f.R2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should error")
+	}
+	if _, err := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("constant x should error")
+	}
+}
+
+func TestFitThroughOrigin(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{2.5, 5, 7.5}
+	f, err := FitThroughOrigin(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Slope-2.5) > 1e-12 || math.Abs(f.R2-1) > 1e-12 {
+		t.Fatalf("fit = %+v", f)
+	}
+	if _, err := FitThroughOrigin([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("all-zero x should error")
+	}
+}
+
+func TestChiSquareUniformAccepts(t *testing.T) {
+	r := rng.New(8)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[r.Intn(10)]++
+	}
+	chi2, p, err := ChiSquareUniform(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 1e-4 {
+		t.Fatalf("uniform data rejected: chi2=%v p=%v", chi2, p)
+	}
+}
+
+func TestChiSquareUniformRejects(t *testing.T) {
+	counts := []int{1000, 10, 10, 10}
+	_, p, err := ChiSquareUniform(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Fatalf("blatantly non-uniform data accepted: p=%v", p)
+	}
+}
+
+func TestChiSquareErrors(t *testing.T) {
+	if _, _, err := ChiSquareUniform([]int{5}); err == nil {
+		t.Error("single cell should error")
+	}
+	if _, _, err := ChiSquareUniform([]int{1, -1}); err == nil {
+		t.Error("negative count should error")
+	}
+	if _, _, err := ChiSquareUniform([]int{0, 0}); err == nil {
+		t.Error("no observations should error")
+	}
+}
+
+func TestGammaPKnownValues(t *testing.T) {
+	// P(1, x) = 1 - e^-x (chi-square df=2 CDF at 2x).
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		want := 1 - math.Exp(-x)
+		if got := GammaP(1, x); math.Abs(got-want) > 1e-10 {
+			t.Errorf("GammaP(1,%v) = %v, want %v", x, got, want)
+		}
+	}
+	// P(0.5, x) = erf(sqrt(x)).
+	for _, x := range []float64{0.25, 1, 4} {
+		want := math.Erf(math.Sqrt(x))
+		if got := GammaP(0.5, x); math.Abs(got-want) > 1e-10 {
+			t.Errorf("GammaP(0.5,%v) = %v, want %v", x, got, want)
+		}
+	}
+	if GammaP(1, 0) != 0 {
+		t.Error("GammaP(a,0) should be 0")
+	}
+	if !math.IsNaN(GammaP(-1, 1)) {
+		t.Error("GammaP with a<=0 should be NaN")
+	}
+}
+
+func TestChiSquareSurvivalBounds(t *testing.T) {
+	if ChiSquareSurvival(0, 5) != 1 {
+		t.Error("survival at 0 should be 1")
+	}
+	if s := ChiSquareSurvival(1000, 5); s > 1e-10 {
+		t.Errorf("far tail survival = %v", s)
+	}
+	// Median of chi-square(2) is 2 ln 2.
+	if s := ChiSquareSurvival(2*math.Ln2, 2); math.Abs(s-0.5) > 1e-10 {
+		t.Errorf("median survival = %v", s)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		h.Add(i % 11)
+	}
+	if h.Total() != 100 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Count(0) != 10 {
+		t.Errorf("Count(0) = %d", h.Count(0))
+	}
+	h.Add(-5) // clamps to 0
+	h.Add(99) // clamps to 10
+	if h.Count(0) != 11 || h.Count(10) != 10 {
+		t.Error("clamping failed")
+	}
+	if h.Count(11) != 0 {
+		t.Error("out-of-range Count should be 0")
+	}
+}
+
+func TestHistogramQuantileAndMean(t *testing.T) {
+	h, err := NewHistogram(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1,1,1,1,2,2,3,4
+	for _, v := range []int{1, 1, 1, 1, 2, 2, 3, 4} {
+		h.Add(v)
+	}
+	if q := h.Quantile(0.5); q != 1 {
+		t.Errorf("median = %d, want 1", q)
+	}
+	if q := h.Quantile(0.99); q != 4 {
+		t.Errorf("p99 = %d, want 4", q)
+	}
+	if m := h.Mean(); math.Abs(m-15.0/8) > 1e-12 {
+		t.Errorf("mean = %v", m)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(5, 4); err == nil {
+		t.Error("max < min should error")
+	}
+	h, _ := NewHistogram(0, 3)
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be min")
+	}
+	if h.Mean() != 0 {
+		t.Error("empty histogram mean should be 0")
+	}
+}
+
+func BenchmarkStreamAdd(b *testing.B) {
+	var s Stream
+	for i := 0; i < b.N; i++ {
+		s.Add(float64(i & 1023))
+	}
+}

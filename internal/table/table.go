@@ -1,0 +1,232 @@
+// Package table renders experiment results as aligned text, Markdown, or
+// CSV. The experiment harness produces one Table per paper claim; the same
+// Table feeds the CLI output and EXPERIMENTS.md.
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is an ordered collection of rows under fixed column headers.
+type Table struct {
+	Title   string
+	Columns []string
+	Notes   []string
+	rows    [][]string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row. Values are formatted: float64 via FormatFloat,
+// integers via decimal, everything else via fmt.Sprint. It panics if the
+// arity does not match the header (a programming error in an experiment
+// definition).
+func (t *Table) AddRow(values ...any) {
+	if len(values) != len(t.Columns) {
+		panic(fmt.Sprintf("table: row arity %d != %d columns", len(values), len(t.Columns)))
+	}
+	row := make([]string, len(values))
+	for i, v := range values {
+		row[i] = format(v)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddNote appends a free-text footnote rendered under the table.
+func (t *Table) AddNote(note string) { t.Notes = append(t.Notes, note) }
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Row returns a copy of row i.
+func (t *Table) Row(i int) []string {
+	out := make([]string, len(t.rows[i]))
+	copy(out, t.rows[i])
+	return out
+}
+
+// format renders a cell value.
+func format(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case float64:
+		return FormatFloat(x)
+	case float32:
+		return FormatFloat(float64(x))
+	case int:
+		return strconv.Itoa(x)
+	case int32:
+		return strconv.FormatInt(int64(x), 10)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case uint64:
+		return strconv.FormatUint(x, 10)
+	case bool:
+		if x {
+			return "yes"
+		}
+		return "no"
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// FormatFloat renders a float compactly: integers without decimals, small
+// magnitudes with 4 significant digits, large with thousands-free %.4g.
+func FormatFloat(f float64) string {
+	if f == float64(int64(f)) && f > -1e15 && f < 1e15 {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	a := f
+	if a < 0 {
+		a = -a
+	}
+	if a >= 1e-3 && a < 1e6 {
+		s := strconv.FormatFloat(f, 'f', 4, 64)
+		s = strings.TrimRight(s, "0")
+		s = strings.TrimRight(s, ".")
+		return s
+	}
+	return strconv.FormatFloat(f, 'g', 4, 64)
+}
+
+// RenderText writes a fixed-width aligned table.
+func (t *Table) RenderText(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len([]rune(c))
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if l := len([]rune(cell)); l > widths[i] {
+				widths[i] = l
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := widths[i] - len([]rune(cell))
+			// Right-align everything; headers too, so columns line up.
+			b.WriteString(strings.Repeat(" ", pad))
+			b.WriteString(cell)
+		}
+		b.WriteByte('\n')
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if err := writeRow(t.Columns); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if total >= 2 {
+		total -= 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	for _, note := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", note); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderMarkdown writes a GitHub-flavored Markdown table.
+func (t *Table) RenderMarkdown(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "**%s**\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | ")); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---:"
+	}
+	if _, err := fmt.Fprintf(w, "|%s|\n", strings.Join(seps, "|")); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		escaped := make([]string, len(row))
+		for i, cell := range row {
+			escaped[i] = strings.ReplaceAll(cell, "|", "\\|")
+		}
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(escaped, " | ")); err != nil {
+			return err
+		}
+	}
+	for _, note := range t.Notes {
+		if _, err := fmt.Fprintf(w, "\n*%s*\n", note); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderCSV writes the table as CSV (header row first; title and notes are
+// omitted).
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Format names an output format for RenderAs.
+type Format string
+
+// Supported formats.
+const (
+	Text     Format = "text"
+	Markdown Format = "markdown"
+	CSV      Format = "csv"
+)
+
+// RenderAs dispatches on format.
+func (t *Table) RenderAs(w io.Writer, f Format) error {
+	switch f {
+	case Text:
+		return t.RenderText(w)
+	case Markdown:
+		return t.RenderMarkdown(w)
+	case CSV:
+		return t.RenderCSV(w)
+	default:
+		return fmt.Errorf("table: unknown format %q", f)
+	}
+}

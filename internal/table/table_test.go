@@ -1,0 +1,150 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddRowAndAccess(t *testing.T) {
+	tb := New("demo", "a", "b")
+	tb.AddRow(1, 2.5)
+	tb.AddRow("x", int64(7))
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	r := tb.Row(0)
+	if r[0] != "1" || r[1] != "2.5" {
+		t.Fatalf("row 0 = %v", r)
+	}
+	r[0] = "mutate"
+	if tb.Row(0)[0] != "1" {
+		t.Fatal("Row returned aliased slice")
+	}
+}
+
+func TestAddRowArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on arity mismatch")
+		}
+	}()
+	New("x", "a", "b").AddRow(1)
+}
+
+func TestFormatValues(t *testing.T) {
+	cases := []struct {
+		in   any
+		want string
+	}{
+		{42, "42"},
+		{int32(-3), "-3"},
+		{int64(1 << 40), "1099511627776"},
+		{uint64(9), "9"},
+		{3.0, "3"},
+		{3.14159, "3.1416"},
+		{0.25, "0.25"},
+		{1e-9, "1e-09"},
+		{2.5e8, "250000000"},
+		{2.5e18, "2.5e+18"},
+		{true, "yes"},
+		{false, "no"},
+		{"str", "str"},
+	}
+	for _, c := range cases {
+		if got := format(c.in); got != c.want {
+			t.Errorf("format(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRenderText(t *testing.T) {
+	tb := New("title", "n", "value")
+	tb.AddRow(1024, 3.5)
+	tb.AddNote("a note")
+	var sb strings.Builder
+	if err := tb.RenderText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"title", "n", "value", "1024", "3.5", "note: a note", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns aligned: "value" column width 5, cell "3.5" right-aligned.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	header, data := lines[1], lines[3]
+	if strings.Index(header, "value")+5 != strings.Index(data, "3.5")+3 {
+		t.Errorf("columns misaligned:\n%q\n%q", header, data)
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	tb := New("T", "a", "b")
+	tb.AddRow("x|y", 1)
+	tb.AddNote("nb")
+	var sb strings.Builder
+	if err := tb.RenderMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "| a | b |") {
+		t.Errorf("markdown header missing:\n%s", out)
+	}
+	if !strings.Contains(out, `x\|y`) {
+		t.Errorf("pipe not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, "*nb*") {
+		t.Errorf("note missing:\n%s", out)
+	}
+	if !strings.Contains(out, "**T**") {
+		t.Errorf("title missing:\n%s", out)
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := New("T", "a", "b")
+	tb.AddRow("x,y", 2)
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("csv header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `"x,y",2`) {
+		t.Errorf("csv escaping wrong:\n%s", out)
+	}
+}
+
+func TestRenderAs(t *testing.T) {
+	tb := New("T", "a")
+	tb.AddRow(1)
+	for _, f := range []Format{Text, Markdown, CSV} {
+		var sb strings.Builder
+		if err := tb.RenderAs(&sb, f); err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if sb.Len() == 0 {
+			t.Fatalf("%s produced no output", f)
+		}
+	}
+	var sb strings.Builder
+	if err := tb.RenderAs(&sb, Format("bogus")); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestFormatFloatEdges(t *testing.T) {
+	if FormatFloat(0) != "0" {
+		t.Error("zero")
+	}
+	if FormatFloat(-2.5) != "-2.5" {
+		t.Error("negative")
+	}
+	if got := FormatFloat(0.000125); got != "0.000125" {
+		// Below 1e-3 the %g path keeps full significant digits.
+		t.Errorf("small = %q", got)
+	}
+}

@@ -1,0 +1,219 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxTracker(t *testing.T) {
+	var m MaxTracker
+	if m.Max() != 0 || m.N() != 0 {
+		t.Fatal("zero value should report 0")
+	}
+	m.Observe(1, 5)
+	m.Observe(2, 3)
+	m.Observe(3, 9)
+	m.Observe(4, 9)
+	if m.Max() != 9 {
+		t.Errorf("max = %v", m.Max())
+	}
+	if m.ArgMax() != 3 {
+		t.Errorf("argmax = %d, want first attainment 3", m.ArgMax())
+	}
+	if m.N() != 4 {
+		t.Errorf("n = %d", m.N())
+	}
+}
+
+func TestMaxTrackerNegative(t *testing.T) {
+	var m MaxTracker
+	m.Observe(0, -5)
+	m.Observe(1, -7)
+	if m.Max() != -5 {
+		t.Errorf("max of negatives = %v, want -5", m.Max())
+	}
+}
+
+func TestCheckpointsDoubling(t *testing.T) {
+	c, err := NewCheckpoints(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := int64(1); r <= 100; r++ {
+		c.Observe(r, float64(r*10))
+	}
+	wantTimes := []int64{1, 2, 4, 8, 16, 32, 64}
+	if len(c.Times()) != len(wantTimes) {
+		t.Fatalf("times = %v", c.Times())
+	}
+	for i, w := range wantTimes {
+		if c.Times()[i] != w {
+			t.Fatalf("times = %v, want %v", c.Times(), wantTimes)
+		}
+		if c.Values()[i] != float64(w*10) {
+			t.Fatalf("value at %d = %v", w, c.Values()[i])
+		}
+	}
+	if c.Len() != 7 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+func TestCheckpointsSkippedRounds(t *testing.T) {
+	c, err := NewCheckpoints(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jump straight to round 50: one checkpoint recorded, schedule jumps
+	// past 50.
+	c.Observe(50, 1)
+	if c.Len() != 1 || c.Times()[0] != 50 {
+		t.Fatalf("times = %v", c.Times())
+	}
+	c.Observe(51, 2)
+	if c.Len() != 1 {
+		t.Fatalf("checkpoint fired too soon: %v", c.Times())
+	}
+	c.Observe(64, 3)
+	if c.Len() != 2 || c.Times()[1] != 64 {
+		t.Fatalf("times = %v", c.Times())
+	}
+}
+
+func TestCheckpointsFractionalFactor(t *testing.T) {
+	c, err := NewCheckpoints(10, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := int64(1); r <= 60; r++ {
+		c.Observe(r, 0)
+	}
+	want := []int64{10, 15, 23, 35, 53}
+	got := c.Times()
+	if len(got) != len(want) {
+		t.Fatalf("times = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("times = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCheckpointsValidation(t *testing.T) {
+	if _, err := NewCheckpoints(0, 2); err == nil {
+		t.Error("start 0 should error")
+	}
+	if _, err := NewCheckpoints(1, 1); err == nil {
+		t.Error("factor 1 should error")
+	}
+	if _, err := NewCheckpoints(1, math.NaN()); err == nil {
+		t.Error("NaN factor should error")
+	}
+}
+
+func TestDecimatorNoOverflow(t *testing.T) {
+	d, err := NewDecimator(8, MaxReduce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		d.Observe(float64(i))
+	}
+	if d.Stride() != 1 {
+		t.Fatalf("stride = %d", d.Stride())
+	}
+	got := d.Samples()
+	if len(got) != 5 || got[4] != 5 {
+		t.Fatalf("samples = %v", got)
+	}
+}
+
+func TestDecimatorHalving(t *testing.T) {
+	d, err := NewDecimator(4, MaxReduce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 8; i++ {
+		d.Observe(float64(i))
+	}
+	// After 4 samples {1,2,3,4} buffer is full -> halve to {2,4} stride 2.
+	// Samples 5,6 -> window max 6; 7,8 -> window max 8. Buffer {2,4,6,8}
+	// full again -> halve to {4,8} stride 4.
+	if d.Stride() != 4 {
+		t.Fatalf("stride = %d", d.Stride())
+	}
+	got := d.Samples()
+	if len(got) != 2 || got[0] != 4 || got[1] != 8 {
+		t.Fatalf("samples = %v", got)
+	}
+	if d.Total() != 8 {
+		t.Fatalf("total = %d", d.Total())
+	}
+}
+
+func TestDecimatorMeanReduce(t *testing.T) {
+	d, err := NewDecimator(2, MeanReduce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		d.Observe(float64(i)) // 0,1,2,3
+	}
+	// {0,1} full -> {0.5} stride 2; then window {2,3} -> mean 2.5 -> full
+	// {0.5,2.5} -> halve to {1.5} stride 4.
+	got := d.Samples()
+	if len(got) != 1 || got[0] != 1.5 {
+		t.Fatalf("samples = %v, stride %d", got, d.Stride())
+	}
+}
+
+func TestDecimatorMaxPreserved(t *testing.T) {
+	// Property: with MaxReduce, the max over Samples() equals the max of
+	// all complete-window observations (the global max is preserved as long
+	// as it does not sit in the trailing partial window).
+	if err := quick.Check(func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		d, err := NewDecimator(8, MaxReduce)
+		if err != nil {
+			return false
+		}
+		for _, v := range raw {
+			d.Observe(float64(v))
+		}
+		complete := int64(len(raw)) - int64(len(raw))%d.Stride()
+		var want float64 = -1
+		for _, v := range raw[:complete] {
+			if float64(v) > want {
+				want = float64(v)
+			}
+		}
+		if complete == 0 {
+			return len(d.Samples()) == 0
+		}
+		var got float64 = -1
+		for _, v := range d.Samples() {
+			if v > got {
+				got = v
+			}
+		}
+		return got == want
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecimatorValidation(t *testing.T) {
+	if _, err := NewDecimator(3, MaxReduce); err == nil {
+		t.Error("odd capacity should error")
+	}
+	if _, err := NewDecimator(0, MaxReduce); err == nil {
+		t.Error("zero capacity should error")
+	}
+	if _, err := NewDecimator(4, nil); err == nil {
+		t.Error("nil reducer should error")
+	}
+}

@@ -1,0 +1,392 @@
+// Package walks implements the multi-token traversal protocol of §4:
+// m tokens perform random walks on a graph under the constraint that every
+// node processes and releases at most one token per round (FIFO order).
+// On the complete graph with self-loops this is exactly the repeated
+// balls-into-bins process; on other graphs it is the general protocol the
+// paper's §5 conjectures about.
+//
+// The engine tracks per-token visited sets, so it measures the parallel
+// cover time (Corollary 1: O(n log² n) on the clique, w.h.p.), per-token
+// progress, and node congestion (max load). A single-token baseline walk
+// (SingleWalkCover) provides the O(n log n) reference the corollary
+// compares against.
+package walks
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Options configures a Traversal.
+type Options struct {
+	// TrackCover enables the m×n visited matrix and cover detection
+	// (required by RunUntilCovered). Off by default because it costs m·n
+	// bits.
+	TrackCover bool
+}
+
+// Traversal is a running multi-token traversal. Create with New; not safe
+// for concurrent use.
+type Traversal struct {
+	g graph.Graph
+	n int
+	m int
+
+	src *rng.Source
+
+	queue [][]int32
+	head  []int32
+	loads []int32
+
+	pos  []int32
+	hops []int64
+
+	moves []move
+
+	round     int64
+	maxLoad   int32
+	windowMax int32
+	empty     int
+
+	trackCover bool
+	visited    *bitset.Matrix
+	visitCount []int32
+	covered    int
+	coverRound int64
+}
+
+type move struct {
+	token int32
+	dest  int32
+}
+
+// New builds a traversal with loads[u] tokens initially queued at node u
+// (tokens numbered in node order). It returns an error for a nil graph or
+// source, a load vector of the wrong length, or negative loads.
+func New(g graph.Graph, loads []int32, src *rng.Source, opts Options) (*Traversal, error) {
+	if g == nil {
+		return nil, errors.New("walks: New with nil graph")
+	}
+	if src == nil {
+		return nil, errors.New("walks: New with nil rng source")
+	}
+	n := g.N()
+	if len(loads) != n {
+		return nil, fmt.Errorf("walks: %d loads for %d nodes", len(loads), n)
+	}
+	var m int64
+	for i, l := range loads {
+		if l < 0 {
+			return nil, fmt.Errorf("walks: node %d has negative load %d", i, l)
+		}
+		m += int64(l)
+	}
+	if m > int64(1)<<31-1 {
+		return nil, fmt.Errorf("walks: %d tokens exceed capacity", m)
+	}
+	t := &Traversal{
+		g:          g,
+		n:          n,
+		m:          int(m),
+		src:        src,
+		queue:      make([][]int32, n),
+		head:       make([]int32, n),
+		loads:      make([]int32, n),
+		pos:        make([]int32, m),
+		hops:       make([]int64, m),
+		moves:      make([]move, 0, n),
+		trackCover: opts.TrackCover,
+		coverRound: -1,
+	}
+	tok := int32(0)
+	for u := 0; u < n; u++ {
+		l := loads[u]
+		t.loads[u] = l
+		if l > 0 {
+			q := make([]int32, l)
+			for i := int32(0); i < l; i++ {
+				q[i] = tok
+				t.pos[tok] = int32(u)
+				tok++
+			}
+			t.queue[u] = q
+		}
+	}
+	if t.trackCover {
+		t.visited = bitset.NewMatrix(t.m, n)
+		t.visitCount = make([]int32, t.m)
+		for k := 0; k < t.m; k++ {
+			t.visited.TestAndSet(k, int(t.pos[k]))
+			t.visitCount[k] = 1
+			if n == 1 {
+				t.covered++
+			}
+		}
+		if t.m == 0 || (n == 1 && t.covered == t.m) {
+			t.coverRound = 0
+		}
+	}
+	t.refreshStats()
+	t.windowMax = t.maxLoad
+	return t, nil
+}
+
+// NewOnePerNode builds the canonical traversal start: one token on every
+// node (m = n), the paper's multi-token setting.
+func NewOnePerNode(g graph.Graph, src *rng.Source, opts Options) (*Traversal, error) {
+	if g == nil {
+		return nil, errors.New("walks: NewOnePerNode with nil graph")
+	}
+	loads := make([]int32, g.N())
+	for i := range loads {
+		loads[i] = 1
+	}
+	return New(g, loads, src, opts)
+}
+
+func (t *Traversal) refreshStats() {
+	var max int32
+	empty := 0
+	for _, l := range t.loads {
+		if l > max {
+			max = l
+		}
+		if l == 0 {
+			empty++
+		}
+	}
+	t.maxLoad = max
+	t.empty = empty
+}
+
+// Step advances one synchronous round: every non-empty node releases its
+// oldest token to a uniformly random neighbor; all moves land after all
+// extractions.
+func (t *Traversal) Step() {
+	n := t.n
+	moves := t.moves[:0]
+	for u := 0; u < n; u++ {
+		if t.loads[u] > 0 {
+			q := t.queue[u]
+			h := t.head[u]
+			token := q[h]
+			h++
+			if int(h) == len(q) {
+				t.queue[u] = q[:0]
+				h = 0
+			} else if h >= 64 && int(h)*2 >= len(q) {
+				nLive := copy(q, q[h:])
+				t.queue[u] = q[:nLive]
+				h = 0
+			}
+			t.head[u] = h
+			t.loads[u]--
+			dest := int32(t.g.Sample(u, t.src))
+			moves = append(moves, move{token: token, dest: dest})
+		}
+	}
+	now := t.round + 1
+	for _, mv := range moves {
+		k := mv.token
+		u := mv.dest
+		t.queue[u] = append(t.queue[u], k)
+		t.loads[u]++
+		t.pos[k] = u
+		t.hops[k]++
+		if t.trackCover && !t.visited.TestAndSet(int(k), int(u)) {
+			t.visitCount[k]++
+			if int(t.visitCount[k]) == n {
+				t.covered++
+				if t.covered == t.m && t.coverRound < 0 {
+					t.coverRound = now
+				}
+			}
+		}
+	}
+	t.moves = moves
+	t.round = now
+	t.refreshStats()
+	if t.maxLoad > t.windowMax {
+		t.windowMax = t.maxLoad
+	}
+}
+
+// Run advances k rounds.
+func (t *Traversal) Run(k int64) {
+	for i := int64(0); i < k; i++ {
+		t.Step()
+	}
+}
+
+// ReassignAll moves every token to positions[token] and rebuilds the FIFO
+// queues in token order — the §4.1 adversarial fault. Visited sets are
+// preserved (and the new position counts as visited). The token count and
+// graph are unchanged.
+func (t *Traversal) ReassignAll(positions []int32) error {
+	if len(positions) != t.m {
+		return fmt.Errorf("walks: ReassignAll with %d positions, want %d", len(positions), t.m)
+	}
+	for k, p := range positions {
+		if p < 0 || int(p) >= t.n {
+			return fmt.Errorf("walks: token %d assigned to invalid node %d", k, p)
+		}
+	}
+	for u := 0; u < t.n; u++ {
+		t.queue[u] = t.queue[u][:0]
+		t.head[u] = 0
+		t.loads[u] = 0
+	}
+	for k, p := range positions {
+		t.queue[p] = append(t.queue[p], int32(k))
+		t.loads[p]++
+		t.pos[k] = p
+		if t.trackCover && !t.visited.TestAndSet(k, int(p)) {
+			t.visitCount[k]++
+			if int(t.visitCount[k]) == t.n {
+				t.covered++
+				if t.covered == t.m && t.coverRound < 0 {
+					t.coverRound = t.round
+				}
+			}
+		}
+	}
+	t.refreshStats()
+	if t.maxLoad > t.windowMax {
+		t.windowMax = t.maxLoad
+	}
+	return nil
+}
+
+// N returns the node count.
+func (t *Traversal) N() int { return t.n }
+
+// Tokens returns the token count m.
+func (t *Traversal) Tokens() int { return t.m }
+
+// Graph returns the underlying graph.
+func (t *Traversal) Graph() graph.Graph { return t.g }
+
+// Round returns the number of completed rounds.
+func (t *Traversal) Round() int64 { return t.round }
+
+// MaxLoad returns the current maximum node congestion.
+func (t *Traversal) MaxLoad() int32 { return t.maxLoad }
+
+// WindowMaxLoad returns the running maximum congestion since construction.
+func (t *Traversal) WindowMaxLoad() int32 { return t.windowMax }
+
+// EmptyNodes returns the number of token-free nodes.
+func (t *Traversal) EmptyNodes() int { return t.empty }
+
+// Load returns the queue length at node u.
+func (t *Traversal) Load(u int) int32 { return t.loads[u] }
+
+// Position returns the node currently holding token k.
+func (t *Traversal) Position(k int) int { return int(t.pos[k]) }
+
+// Hops returns the number of walk steps token k has performed.
+func (t *Traversal) Hops(k int) int64 { return t.hops[k] }
+
+// MinHops returns the minimum progress over tokens.
+func (t *Traversal) MinHops() int64 {
+	if t.m == 0 {
+		return 0
+	}
+	min := t.hops[0]
+	for _, h := range t.hops[1:] {
+		if h < min {
+			min = h
+		}
+	}
+	return min
+}
+
+// Covered returns the number of tokens that have visited every node.
+func (t *Traversal) Covered() int { return t.covered }
+
+// CoverRound returns the parallel cover time — the first round by which
+// every token had visited every node — or −1 if not yet reached (or cover
+// tracking is off).
+func (t *Traversal) CoverRound() int64 { return t.coverRound }
+
+// VisitCount returns the number of distinct nodes token k has visited
+// (0 when TrackCover is off).
+func (t *Traversal) VisitCount(k int) int {
+	if !t.trackCover {
+		return 0
+	}
+	return int(t.visitCount[k])
+}
+
+// RunUntilCovered steps until the parallel cover completes or maxRounds
+// elapse; requires TrackCover.
+func (t *Traversal) RunUntilCovered(maxRounds int64) (int64, bool) {
+	if !t.trackCover {
+		return -1, false
+	}
+	for i := int64(0); t.coverRound < 0 && i < maxRounds; i++ {
+		t.Step()
+	}
+	return t.coverRound, t.coverRound >= 0
+}
+
+// CheckInvariants verifies queue/load/position consistency.
+func (t *Traversal) CheckInvariants() error {
+	seen := make([]bool, t.m)
+	var total int64
+	for u := 0; u < t.n; u++ {
+		live := t.queue[u][t.head[u]:]
+		if int32(len(live)) != t.loads[u] {
+			return fmt.Errorf("walks: node %d queue %d != load %d", u, len(live), t.loads[u])
+		}
+		total += int64(len(live))
+		for _, k := range live {
+			if k < 0 || int(k) >= t.m {
+				return fmt.Errorf("walks: node %d holds invalid token %d", u, k)
+			}
+			if seen[k] {
+				return fmt.Errorf("walks: token %d appears twice", k)
+			}
+			seen[k] = true
+			if t.pos[k] != int32(u) {
+				return fmt.Errorf("walks: token %d position %d but found at %d", k, t.pos[k], u)
+			}
+		}
+	}
+	if total != int64(t.m) {
+		return fmt.Errorf("walks: %d tokens in queues, want %d", total, t.m)
+	}
+	return nil
+}
+
+// SingleWalkCover runs one token's simple random walk from start and
+// returns its cover time (first round all nodes visited), capped at
+// maxRounds. This is the baseline Corollary 1 compares the parallel cover
+// time against.
+func SingleWalkCover(g graph.Graph, start int, src *rng.Source, maxRounds int64) (int64, bool) {
+	if g == nil || src == nil {
+		return -1, false
+	}
+	n := g.N()
+	if start < 0 || start >= n {
+		return -1, false
+	}
+	visited := bitset.New(n)
+	visited.Set(start)
+	remaining := n - 1
+	v := start
+	for t := int64(1); t <= maxRounds; t++ {
+		v = g.Sample(v, src)
+		if !visited.TestAndSet(v) {
+			remaining--
+			if remaining == 0 {
+				return t, true
+			}
+		}
+	}
+	return maxRounds, remaining == 0
+}

@@ -1,0 +1,346 @@
+package walks
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func completeGraph(t testing.TB, n int) *graph.Complete {
+	g, err := graph.NewComplete(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	g := completeGraph(t, 4)
+	r := rng.New(1)
+	if _, err := New(nil, []int32{1}, r, Options{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := New(g, []int32{1, 1, 1, 1}, nil, Options{}); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := New(g, []int32{1, 1}, r, Options{}); err == nil {
+		t.Error("wrong-length loads accepted")
+	}
+	if _, err := New(g, []int32{1, -1, 1, 1}, r, Options{}); err == nil {
+		t.Error("negative load accepted")
+	}
+	if _, err := NewOnePerNode(nil, r, Options{}); err == nil {
+		t.Error("NewOnePerNode nil graph accepted")
+	}
+}
+
+func TestOnePerNodeSetup(t *testing.T) {
+	g := completeGraph(t, 8)
+	tr, err := NewOnePerNode(g, rng.New(2), Options{TrackCover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Tokens() != 8 || tr.N() != 8 {
+		t.Fatal("dims wrong")
+	}
+	for k := 0; k < 8; k++ {
+		if tr.Position(k) != k {
+			t.Fatalf("token %d starts at %d", k, tr.Position(k))
+		}
+		if tr.VisitCount(k) != 1 {
+			t.Fatalf("token %d initial visits %d", k, tr.VisitCount(k))
+		}
+	}
+	if tr.MaxLoad() != 1 || tr.EmptyNodes() != 0 {
+		t.Fatal("initial stats wrong")
+	}
+	if tr.Graph() != g {
+		t.Fatal("graph accessor wrong")
+	}
+}
+
+func TestInvariantsOverRun(t *testing.T) {
+	for _, mk := range []func() graph.Graph{
+		func() graph.Graph { return completeGraph(t, 24) },
+		func() graph.Graph { g, _ := graph.NewRing(24); return g },
+		func() graph.Graph { g, _ := graph.NewTorus(4, 6); return g },
+		func() graph.Graph { g, _ := graph.NewHypercube(4); return g },
+	} {
+		g := mk()
+		tr, err := NewOnePerNode(g, rng.New(3), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 300; i++ {
+			tr.Step()
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("%s round %d: %v", g.Name(), i, err)
+			}
+		}
+	}
+}
+
+func TestCliqueEquivalenceToProcessLaw(t *testing.T) {
+	// On the clique with self-loops, walk congestion follows the repeated
+	// balls-into-bins law: n/4 empty-bin bound should hold (Lemma 1).
+	const n = 256
+	g := completeGraph(t, n)
+	tr, err := NewOnePerNode(g, rng.New(5), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		tr.Step()
+		if tr.EmptyNodes() < n/4 {
+			t.Fatalf("round %d: %d empty nodes < n/4", i+1, tr.EmptyNodes())
+		}
+	}
+	if tr.WindowMaxLoad() > int32(4*math.Log(n)) {
+		t.Fatalf("window max load %d exceeds 4 ln n", tr.WindowMaxLoad())
+	}
+}
+
+func TestParallelCoverClique(t *testing.T) {
+	// Corollary 1 shape at test scale: parallel cover on the clique within
+	// c·n·ln²n rounds. For n = 64: n ln² n ≈ 1107.
+	const n = 64
+	g := completeGraph(t, n)
+	tr, err := NewOnePerNode(g, rng.New(7), Options{TrackCover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim := int64(20 * float64(n) * math.Pow(math.Log(n), 2))
+	round, ok := tr.RunUntilCovered(lim)
+	if !ok {
+		t.Fatalf("no parallel cover within %d rounds", lim)
+	}
+	// Single-token cover is ≥ n ln n ≈ 266; parallel must be at least the
+	// single-token minimum n−1.
+	if round < n-1 {
+		t.Fatalf("cover round %d < n-1", round)
+	}
+	if tr.Covered() != n {
+		t.Fatalf("covered = %d", tr.Covered())
+	}
+	t.Logf("parallel cover at round %d (n ln² n = %.0f)", round, float64(n)*math.Pow(math.Log(n), 2))
+}
+
+func TestRunUntilCoveredRequiresTracking(t *testing.T) {
+	tr, err := NewOnePerNode(completeGraph(t, 4), rng.New(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := tr.RunUntilCovered(10); ok || r != -1 {
+		t.Fatal("cover without tracking should fail")
+	}
+}
+
+func TestSingleWalkCoverClique(t *testing.T) {
+	// Coupon collector: expected cover ≈ n H_n ≈ n ln n. For n = 128 that
+	// is ≈ 695; within 20x is a safe w.h.p. band.
+	const n = 128
+	g := completeGraph(t, n)
+	r := rng.New(9)
+	round, ok := SingleWalkCover(g, 0, r, int64(40*n*8))
+	if !ok {
+		t.Fatal("single walk did not cover")
+	}
+	if round < n-1 {
+		t.Fatalf("cover %d < n-1", round)
+	}
+}
+
+func TestSingleWalkCoverRing(t *testing.T) {
+	// Ring cover time is Θ(n²).
+	const n = 32
+	g, err := graph.NewRing(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(11)
+	round, ok := SingleWalkCover(g, 0, r, int64(100*n*n))
+	if !ok {
+		t.Fatal("ring walk did not cover")
+	}
+	if round < n-1 {
+		t.Fatalf("cover %d < n-1", round)
+	}
+}
+
+func TestSingleWalkCoverErrors(t *testing.T) {
+	g := completeGraph(t, 4)
+	r := rng.New(1)
+	if _, ok := SingleWalkCover(nil, 0, r, 10); ok {
+		t.Error("nil graph accepted")
+	}
+	if _, ok := SingleWalkCover(g, 0, nil, 10); ok {
+		t.Error("nil source accepted")
+	}
+	if _, ok := SingleWalkCover(g, 9, r, 10); ok {
+		t.Error("bad start accepted")
+	}
+	if _, ok := SingleWalkCover(g, 0, r, 1); ok {
+		t.Error("cover in 1 round on 4 nodes should be impossible")
+	}
+}
+
+func TestReassignAll(t *testing.T) {
+	const n = 16
+	tr, err := NewOnePerNode(completeGraph(t, n), rng.New(13), Options{TrackCover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Run(50)
+	// Adversary: all tokens onto node 3.
+	positions := make([]int32, n)
+	for i := range positions {
+		positions[i] = 3
+	}
+	if err := tr.ReassignAll(positions); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Load(3) != n || tr.MaxLoad() != n {
+		t.Fatalf("load(3) = %d after reassign", tr.Load(3))
+	}
+	if tr.EmptyNodes() != n-1 {
+		t.Fatalf("empty = %d", tr.EmptyNodes())
+	}
+	for k := 0; k < n; k++ {
+		if tr.Position(k) != 3 {
+			t.Fatalf("token %d at %d", k, tr.Position(k))
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Visits preserved and node 3 marked visited for all.
+	for k := 0; k < n; k++ {
+		if tr.VisitCount(k) < 2 {
+			t.Fatalf("token %d lost visit history", k)
+		}
+	}
+}
+
+func TestReassignAllValidation(t *testing.T) {
+	tr, err := NewOnePerNode(completeGraph(t, 4), rng.New(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.ReassignAll([]int32{0, 0}); err == nil {
+		t.Error("wrong length accepted")
+	}
+	if err := tr.ReassignAll([]int32{0, 1, 2, 9}); err == nil {
+		t.Error("invalid node accepted")
+	}
+}
+
+func TestReassignThenRecover(t *testing.T) {
+	// After an adversarial concentration the process should still make
+	// progress and eventually cover (self-stabilization in action).
+	const n = 24
+	tr, err := NewOnePerNode(completeGraph(t, n), rng.New(17), Options{TrackCover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	positions := make([]int32, n)
+	if err := tr.ReassignAll(positions); err != nil { // all to node 0
+		t.Fatal(err)
+	}
+	round, ok := tr.RunUntilCovered(int64(200 * n * 25))
+	if !ok {
+		t.Fatal("no cover after adversarial concentration")
+	}
+	if round <= 0 {
+		t.Fatal("cover round must be positive")
+	}
+}
+
+func TestHopsProgress(t *testing.T) {
+	const n = 64
+	tr, err := NewOnePerNode(completeGraph(t, n), rng.New(19), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 2048
+	tr.Run(rounds)
+	bound := int64(float64(rounds) / (8 * math.Log(n)))
+	if got := tr.MinHops(); got < bound {
+		t.Fatalf("min hops %d < %d", got, bound)
+	}
+	var total int64
+	for k := 0; k < n; k++ {
+		total += tr.Hops(k)
+	}
+	// Total hops = total departures ≤ n per round.
+	if total > int64(n)*rounds {
+		t.Fatalf("total hops %d exceeds n·t", total)
+	}
+}
+
+func TestTokenConservationProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint32) bool {
+		r := rng.New(uint64(seed))
+		g, err := graph.NewTorus(4, 4)
+		if err != nil {
+			return false
+		}
+		tr, err := NewOnePerNode(g, r, Options{})
+		if err != nil {
+			return false
+		}
+		tr.Run(150)
+		return tr.CheckInvariants() == nil
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() *Traversal {
+		tr, err := NewOnePerNode(completeGraph(t, 32), rng.New(99), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	a, b := mk(), mk()
+	a.Run(300)
+	b.Run(300)
+	for u := 0; u < 32; u++ {
+		if a.Load(u) != b.Load(u) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func BenchmarkTraversalStepClique1024(b *testing.B) {
+	g, err := graph.NewComplete(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := NewOnePerNode(g, rng.New(1), Options{TrackCover: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Step()
+	}
+}
+
+func BenchmarkSingleWalkStep(b *testing.B) {
+	g, err := graph.NewComplete(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	v := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v = g.Sample(v, r)
+	}
+	_ = v
+}
