@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/jackson"
 	"repro/internal/rng"
 	"repro/internal/tetris"
@@ -32,25 +33,22 @@ func main() {
 	}
 }
 
-// stepper is the round-advancing surface shared by the engines.
-type stepper interface {
-	Step()
-	Round() int64
-	MaxLoad() int32
-	EmptyBins() int
-}
-
-// jacksonStepper adapts the sequential Jackson network to the stepper
-// interface: one Step is n events (the sequential analogue of a round).
+// jacksonStepper adapts the sequential Jackson network to the shared
+// engine.Stepper interface: one Step is n events (the sequential analogue
+// of a round).
 type jacksonStepper struct {
 	net    *jackson.Network
 	rounds int64
 }
 
-func (j *jacksonStepper) Step()          { j.net.Round(); j.rounds++ }
-func (j *jacksonStepper) Round() int64   { return j.rounds }
-func (j *jacksonStepper) MaxLoad() int32 { return j.net.MaxLoad() }
-func (j *jacksonStepper) EmptyBins() int { return j.net.N() - j.net.NonEmpty() }
+func (j *jacksonStepper) Step()              { j.net.Round(); j.rounds++ }
+func (j *jacksonStepper) Round() int64       { return j.rounds }
+func (j *jacksonStepper) N() int             { return j.net.N() }
+func (j *jacksonStepper) MaxLoad() int32     { return j.net.MaxLoad() }
+func (j *jacksonStepper) EmptyBins() int     { return j.net.N() - j.net.NonEmpty() }
+func (j *jacksonStepper) NonEmptyBins() int  { return j.net.NonEmpty() }
+func (j *jacksonStepper) Load(u int) int32   { return j.net.Load(u) }
+func (j *jacksonStepper) LoadsCopy() []int32 { return j.net.LoadsCopy() }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rbb-sim", flag.ContinueOnError)
@@ -86,7 +84,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	var s stepper
+	var s engine.Stepper
 	switch *process {
 	case "original":
 		p, err := core.NewProcess(loads, src)
@@ -139,7 +137,6 @@ func run(args []string, out io.Writer) error {
 		*process, *n, balls, *initName, *seed, threshold)
 	fmt.Fprintf(out, "%10s  %8s  %11s  %10s\n", "round", "max load", "empty frac", "legitimate")
 
-	var windowMax int32
 	report := func() {
 		frac := float64(s.EmptyBins()) / float64(*n)
 		legit := "yes"
@@ -149,16 +146,13 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "%10d  %8d  %11.4f  %10s\n", s.Round(), s.MaxLoad(), frac, legit)
 	}
 	report()
-	for i := int64(0); i < *rounds; i++ {
-		s.Step()
-		if s.MaxLoad() > windowMax {
-			windowMax = s.MaxLoad()
-		}
-		if s.Round()%interval == 0 {
+	var wm engine.WindowMax
+	engine.Run(s, *rounds, &wm, engine.ObserverFunc(func(st engine.Stepper) {
+		if st.Round()%interval == 0 {
 			report()
 		}
-	}
-	fmt.Fprintf(out, "\nwindow max load: %d (%.2f x ln n)\n", windowMax, float64(windowMax)/math.Log(float64(*n)))
+	}))
+	fmt.Fprintf(out, "\nwindow max load: %d (%.2f x ln n)\n", wm.Max(), float64(wm.Max())/math.Log(float64(*n)))
 	if tp, ok := s.(*core.TokenProcess); ok {
 		fmt.Fprintf(out, "min ball progress: %d hops; max per-visit delay: %d; mean delay: %.3f\n",
 			tp.MinHops(), tp.MaxDelay(), tp.MeanDelay())

@@ -52,6 +52,55 @@ func (s *Set) TestAndSet(i int) bool {
 	return old
 }
 
+// NextSet returns the index of the first set bit at or after i, or −1 if
+// there is none. (The engine's hot worklist loops iterate raw words via
+// Word/NumWords instead; NextSet is the general-purpose form.)
+func (s *Set) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	w := i >> 6
+	word := s.words[w] >> uint(i&63)
+	if word != 0 {
+		return i + bits.TrailingZeros64(word)
+	}
+	for w++; w < len(s.words); w++ {
+		if s.words[w] != 0 {
+			return w<<6 + bits.TrailingZeros64(s.words[w])
+		}
+	}
+	return -1
+}
+
+// ForEachSet calls f(i) for every set bit in increasing order. The callback
+// may clear bits at or before its argument (the iteration works on a copy
+// of the current word); setting new bits or clearing later bits during the
+// iteration yields unspecified visits for those bits.
+func (s *Set) ForEachSet(f func(i int)) {
+	for wi, w := range s.words {
+		base := wi << 6
+		for w != 0 {
+			f(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// Word returns the i-th 64-bit word of the set (bits 64i .. 64i+63). It
+// exists for high-performance scans that want to branch on whole words.
+func (s *Set) Word(i int) uint64 { return s.words[i] }
+
+// NumWords returns the number of 64-bit words backing the set.
+func (s *Set) NumWords() int { return len(s.words) }
+
+// SetWord replaces the i-th 64-bit word wholesale. Bits beyond Len() in the
+// final word must be zero; callers that rebuild the set from scratch (e.g.
+// a dense engine pass) use this to write 64 membership bits at once.
+func (s *Set) SetWord(i int, w uint64) { s.words[i] = w }
+
 // Count returns the number of set bits.
 func (s *Set) Count() int {
 	c := 0

@@ -1,0 +1,81 @@
+package bitset
+
+import "testing"
+
+// TestNextSet covers word boundaries, gaps and the not-found case.
+func TestNextSet(t *testing.T) {
+	s := New(200)
+	for _, i := range []int{0, 5, 63, 64, 127, 128, 199} {
+		s.Set(i)
+	}
+	want := []int{0, 5, 63, 64, 127, 128, 199}
+	got := []int{}
+	for i := s.NextSet(0); i >= 0; i = s.NextSet(i + 1) {
+		got = append(got, i)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("iterated %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("iterated %v, want %v", got, want)
+		}
+	}
+	if s.NextSet(200) != -1 || s.NextSet(1000) != -1 {
+		t.Error("NextSet past the end must return -1")
+	}
+	if s.NextSet(-5) != 0 {
+		t.Error("NextSet with negative start must clamp to 0")
+	}
+	empty := New(64)
+	if empty.NextSet(0) != -1 {
+		t.Error("NextSet on empty set must return -1")
+	}
+}
+
+// TestForEachSet checks in-order visits and the clear-behind contract.
+func TestForEachSet(t *testing.T) {
+	s := New(130)
+	for i := 0; i < 130; i += 3 {
+		s.Set(i)
+	}
+	prev := -1
+	count := 0
+	s.ForEachSet(func(i int) {
+		if i <= prev {
+			t.Fatalf("out of order: %d after %d", i, prev)
+		}
+		if !s.Test(i) {
+			t.Fatalf("visited unset bit %d", i)
+		}
+		prev = i
+		count++
+		s.Clear(i) // clearing at the cursor must be safe
+	})
+	if count != (129/3)+1 {
+		t.Fatalf("visited %d bits", count)
+	}
+	if s.Count() != 0 {
+		t.Fatal("clears during iteration lost")
+	}
+}
+
+// TestWords checks the word-level accessors used by the engine's dense
+// rebuild.
+func TestWords(t *testing.T) {
+	s := New(100)
+	if s.NumWords() != 2 {
+		t.Fatalf("NumWords = %d", s.NumWords())
+	}
+	s.SetWord(0, 0xDEADBEEF)
+	s.SetWord(1, 0x1)
+	if s.Word(0) != 0xDEADBEEF || s.Word(1) != 0x1 {
+		t.Fatal("Word round-trip failed")
+	}
+	if !s.Test(64) {
+		t.Fatal("SetWord(1, 1) must set bit 64")
+	}
+	if s.Count() != 24+1 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/rng"
 )
 
@@ -22,16 +23,13 @@ import (
 // experiment E18 shows the stationary maximum load collapses from Θ(log n)
 // at d = 1 to a small constant for d ≥ 2.
 type ChoicesProcess struct {
-	n        int
-	d        int
-	m        int64
-	loads    []int32
-	arrivals []int32
-	src      *rng.Source
+	n   int
+	d   int
+	m   int64
+	eng *engine.State
+	src *rng.Source
 
-	round   int64
-	maxLoad int32
-	empty   int
+	round int64
 }
 
 // NewChoicesProcess builds a d-choices process over a copy of the initial
@@ -47,79 +45,40 @@ func NewChoicesProcess(loads []int32, d int, src *rng.Source) (*ChoicesProcess, 
 	if src == nil {
 		return nil, errors.New("core: NewChoicesProcess with nil rng source")
 	}
-	p := &ChoicesProcess{
-		n:        n,
-		d:        d,
-		loads:    make([]int32, n),
-		arrivals: make([]int32, n),
-		src:      src,
+	eng, err := engine.New(loads, engine.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
-	for i, l := range loads {
-		if l < 0 {
-			return nil, fmt.Errorf("core: bin %d has negative load %d", i, l)
-		}
-		p.loads[i] = l
-		p.m += int64(l)
-	}
-	p.refreshStats()
-	return p, nil
-}
-
-func (p *ChoicesProcess) refreshStats() {
-	var max int32
-	empty := 0
-	for _, l := range p.loads {
-		if l > max {
-			max = l
-		}
-		if l == 0 {
-			empty++
-		}
-	}
-	p.maxLoad = max
-	p.empty = empty
+	return &ChoicesProcess{
+		n:   n,
+		d:   d,
+		m:   eng.Sum(),
+		eng: eng,
+		src: src,
+	}, nil
 }
 
 // Step advances one synchronous round: simultaneous departures, then every
 // released ball samples d candidate bins against the post-departure
-// snapshot and joins the least loaded, then all arrivals merge.
+// snapshot and joins the least loaded, then all arrivals merge. All d
+// draws for one ball precede the next ball's draws, balls in released-bin
+// order — the same draw sequence as a dense scan.
 func (p *ChoicesProcess) Step() {
 	n := p.n
-	loads := p.loads
-	departures := 0
-	for u := 0; u < n; u++ {
-		if loads[u] > 0 {
-			loads[u]--
-			departures++
-		}
-	}
+	departures := p.eng.ReleaseEach(nil)
 	d := p.d
 	for i := 0; i < departures; i++ {
 		best := p.src.Intn(n)
-		bestLoad := loads[best]
+		bestLoad := p.eng.Load(best)
 		for j := 1; j < d; j++ {
 			c := p.src.Intn(n)
-			if loads[c] < bestLoad {
-				best, bestLoad = c, loads[c]
+			if l := p.eng.Load(c); l < bestLoad {
+				best, bestLoad = c, l
 			}
 		}
-		p.arrivals[best]++
+		p.eng.Deposit(best)
 	}
-	var max int32
-	empty := 0
-	for v := 0; v < n; v++ {
-		l := loads[v] + p.arrivals[v]
-		p.arrivals[v] = 0
-		loads[v] = l
-		if l > max {
-			max = l
-		}
-		if l == 0 {
-			empty++
-		}
-	}
-	p.maxLoad = max
-	p.empty = empty
+	p.eng.Commit()
 	p.round++
 }
 
@@ -143,31 +102,26 @@ func (p *ChoicesProcess) Balls() int64 { return p.m }
 func (p *ChoicesProcess) Round() int64 { return p.round }
 
 // MaxLoad returns the current maximum bin load.
-func (p *ChoicesProcess) MaxLoad() int32 { return p.maxLoad }
+func (p *ChoicesProcess) MaxLoad() int32 { return p.eng.MaxLoad() }
 
 // EmptyBins returns the current number of empty bins.
-func (p *ChoicesProcess) EmptyBins() int { return p.empty }
+func (p *ChoicesProcess) EmptyBins() int { return p.eng.EmptyBins() }
+
+// NonEmptyBins returns |W(t)|, the current number of non-empty bins.
+func (p *ChoicesProcess) NonEmptyBins() int { return p.eng.NonEmptyBins() }
 
 // Load returns the load of bin u.
-func (p *ChoicesProcess) Load(u int) int32 { return p.loads[u] }
+func (p *ChoicesProcess) Load(u int) int32 { return p.eng.Load(u) }
 
 // LoadsCopy returns a fresh copy of the load vector.
-func (p *ChoicesProcess) LoadsCopy() []int32 {
-	out := make([]int32, p.n)
-	copy(out, p.loads)
-	return out
-}
+func (p *ChoicesProcess) LoadsCopy() []int32 { return p.eng.LoadsCopy() }
 
-// CheckInvariants verifies ball conservation and non-negativity.
+// CheckInvariants verifies ball conservation and the engine statistics.
 func (p *ChoicesProcess) CheckInvariants() error {
-	var s int64
-	for i, l := range p.loads {
-		if l < 0 {
-			return fmt.Errorf("core: choices bin %d negative load %d", i, l)
-		}
-		s += int64(l)
+	if err := p.eng.CheckInvariants(); err != nil {
+		return fmt.Errorf("core: choices: %w", err)
 	}
-	if s != p.m {
+	if s := p.eng.Sum(); s != p.m {
 		return fmt.Errorf("core: choices balls not conserved: %d != %d", s, p.m)
 	}
 	return nil

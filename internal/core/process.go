@@ -10,8 +10,9 @@
 //
 // Two engines implement the same law:
 //
-//   - Process: anonymous loads-only engine, O(n) per round with zero
-//     allocation in the hot loop. Used for max-load, empty-bin and
+//   - Process: anonymous loads-only engine with per-round cost proportional
+//     to |W(t)| (the non-empty bins) in the sparse regime, via the shared
+//     stepping layer in internal/engine. Used for max-load, empty-bin and
 //     convergence experiments (E1–E3, E11, E13).
 //   - TokenProcess: ball identities with pluggable queueing strategies
 //     (FIFO/LIFO/Random), per-ball progress, per-visit delay and cover-time
@@ -30,104 +31,51 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/engine"
 	"repro/internal/rng"
 )
 
 // Process is the anonymous repeated balls-into-bins engine. Create one with
 // NewProcess; it is not safe for concurrent use.
 type Process struct {
-	n        int
-	m        int64
-	loads    []int32
-	arrivals []int32
-	src      *rng.Source
+	n    int
+	m    int64
+	eng  *engine.State
+	draw *engine.Drawer
 
-	round    int64
-	maxLoad  int32
-	empty    int
-	nonEmpty int
+	round int64
 }
 
 // NewProcess builds a process over a copy of the given initial
 // configuration. It returns an error if loads is empty, contains a negative
 // entry, or src is nil.
 func NewProcess(loads []int32, src *rng.Source) (*Process, error) {
-	n := len(loads)
-	if n < 1 {
-		return nil, errors.New("core: NewProcess with no bins")
-	}
 	if src == nil {
 		return nil, errors.New("core: NewProcess with nil rng source")
 	}
-	p := &Process{
-		n:        n,
-		loads:    make([]int32, n),
-		arrivals: make([]int32, n),
-		src:      src,
+	eng, err := engine.New(loads, engine.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
-	var m int64
-	for i, l := range loads {
-		if l < 0 {
-			return nil, fmt.Errorf("core: bin %d has negative load %d", i, l)
-		}
-		p.loads[i] = l
-		m += int64(l)
-	}
+	m := eng.Sum()
 	if m > math.MaxInt32 {
 		return nil, fmt.Errorf("core: %d balls exceed int32 bin capacity", m)
 	}
-	p.m = m
-	p.refreshStats()
-	return p, nil
-}
-
-// refreshStats recomputes maxLoad, empty and nonEmpty from the load vector.
-func (p *Process) refreshStats() {
-	var max int32
-	empty := 0
-	for _, l := range p.loads {
-		if l > max {
-			max = l
-		}
-		if l == 0 {
-			empty++
-		}
-	}
-	p.maxLoad = max
-	p.empty = empty
-	p.nonEmpty = p.n - empty
+	return &Process{
+		n:    len(loads),
+		m:    m,
+		eng:  eng,
+		draw: engine.NewDrawer(src),
+	}, nil
 }
 
 // Step advances the process by one synchronous round: every non-empty bin
 // releases one ball, and every released ball lands in an independently and
 // uniformly chosen bin (self included). Destinations are drawn in bin order,
-// one Uint64n per non-empty bin.
+// one draw per non-empty bin.
 func (p *Process) Step() {
-	n := p.n
-	loads := p.loads
-	arrivals := p.arrivals
-	for u := 0; u < n; u++ {
-		if loads[u] > 0 {
-			loads[u]--
-			arrivals[p.src.Intn(n)]++
-		}
-	}
-	var max int32
-	empty := 0
-	for v := 0; v < n; v++ {
-		l := loads[v] + arrivals[v]
-		arrivals[v] = 0
-		loads[v] = l
-		if l > max {
-			max = l
-		}
-		if l == 0 {
-			empty++
-		}
-	}
-	p.maxLoad = max
-	p.empty = empty
-	p.nonEmpty = n - empty
+	p.eng.ReleaseUniform(p.draw, nil)
+	p.eng.Commit()
 	p.round++
 }
 
@@ -160,7 +108,7 @@ func (p *Process) RunUntil(pred func(*Process) bool, maxRounds int64) bool {
 // was not reached within maxRounds.
 func (p *Process) ConvergenceTime(threshold int32, maxRounds int64) (rounds int64, ok bool) {
 	start := p.round
-	reached := p.RunUntil(func(q *Process) bool { return q.maxLoad <= threshold }, maxRounds)
+	reached := p.RunUntil(func(q *Process) bool { return q.MaxLoad() <= threshold }, maxRounds)
 	return p.round - start, reached
 }
 
@@ -174,27 +122,23 @@ func (p *Process) Balls() int64 { return p.m }
 func (p *Process) Round() int64 { return p.round }
 
 // MaxLoad returns the current maximum bin load M(t).
-func (p *Process) MaxLoad() int32 { return p.maxLoad }
+func (p *Process) MaxLoad() int32 { return p.eng.MaxLoad() }
 
 // EmptyBins returns the current number of empty bins.
-func (p *Process) EmptyBins() int { return p.empty }
+func (p *Process) EmptyBins() int { return p.eng.EmptyBins() }
 
 // NonEmptyBins returns |W(t)|, the current number of non-empty bins.
-func (p *Process) NonEmptyBins() int { return p.nonEmpty }
+func (p *Process) NonEmptyBins() int { return p.eng.NonEmptyBins() }
 
 // Load returns the load of bin u.
-func (p *Process) Load(u int) int32 { return p.loads[u] }
+func (p *Process) Load(u int) int32 { return p.eng.Load(u) }
 
 // Loads returns the live load vector. The slice is owned by the process;
 // callers must not modify it and must copy it if they need it across Steps.
-func (p *Process) Loads() []int32 { return p.loads }
+func (p *Process) Loads() []int32 { return p.eng.Loads() }
 
 // LoadsCopy returns a fresh copy of the current load vector.
-func (p *Process) LoadsCopy() []int32 {
-	out := make([]int32, p.n)
-	copy(out, p.loads)
-	return out
-}
+func (p *Process) LoadsCopy() []int32 { return p.eng.LoadsCopy() }
 
 // SetLoads replaces the current configuration in place — the §4.1
 // adversarial model, where in a faulty round an adversary reassigns all
@@ -213,33 +157,28 @@ func (p *Process) SetLoads(loads []int32) error {
 	if s != p.m {
 		return fmt.Errorf("core: SetLoads with %d balls, want %d", s, p.m)
 	}
-	copy(p.loads, loads)
-	p.refreshStats()
-	return nil
+	return p.eng.Reload(loads)
 }
 
 // LoadHistogram returns counts[k] = number of bins currently holding
 // exactly k balls, for k = 0..MaxLoad(). The stationary shape of this
 // histogram (geometric-like tail) is what drives the O(log n) maximum.
 func (p *Process) LoadHistogram() []int64 {
-	counts := make([]int64, p.maxLoad+1)
-	for _, l := range p.loads {
+	counts := make([]int64, p.eng.MaxLoad()+1)
+	for _, l := range p.eng.Loads() {
 		counts[l]++
 	}
 	return counts
 }
 
-// CheckInvariants verifies ball conservation and non-negativity; it is
-// called by tests after arbitrary step sequences.
+// CheckInvariants verifies ball conservation, non-negativity and the
+// engine's incremental statistics; it is called by tests after arbitrary
+// step sequences.
 func (p *Process) CheckInvariants() error {
-	var s int64
-	for i, l := range p.loads {
-		if l < 0 {
-			return fmt.Errorf("core: bin %d negative load %d at round %d", i, l, p.round)
-		}
-		s += int64(l)
+	if err := p.eng.CheckInvariants(); err != nil {
+		return fmt.Errorf("core: round %d: %w", p.round, err)
 	}
-	if s != p.m {
+	if s := p.eng.Sum(); s != p.m {
 		return fmt.Errorf("core: balls not conserved at round %d: %d != %d", p.round, s, p.m)
 	}
 	return nil

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/bitset"
+	"repro/internal/engine"
 	"repro/internal/rng"
 )
 
@@ -87,10 +88,11 @@ type TokenProcess struct {
 	pick  *rng.Source
 
 	// Per-bin FIFO/LIFO/random-access queues: queue[u][head[u]:] holds the
-	// balls in u, oldest first.
+	// balls in u, oldest first. Queue lengths, the non-empty worklist and
+	// the load statistics live in the shared stepping layer.
 	queue [][]int32
 	head  []int32
-	loads []int32
+	eng   *engine.State
 
 	pos        []int32 // ball -> current bin
 	hops       []int64 // ball -> number of re-assignments performed
@@ -98,9 +100,7 @@ type TokenProcess struct {
 
 	moves []move // scratch for the current step
 
-	round   int64
-	maxLoad int32
-	empty   int
+	round int64
 
 	// Delay tracking (TrackDelays).
 	trackDelays bool
@@ -139,6 +139,10 @@ func NewTokenProcess(loads []int32, src *rng.Source, opts TokenOptions) (*TokenP
 	if m > int64(1)<<31-1 {
 		return nil, fmt.Errorf("core: %d balls exceed capacity", m)
 	}
+	eng, err := engine.New(loads, engine.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	p := &TokenProcess{
 		n:           n,
 		m:           int(m),
@@ -147,7 +151,7 @@ func NewTokenProcess(loads []int32, src *rng.Source, opts TokenOptions) (*TokenP
 		pick:        opts.PickSource,
 		queue:       make([][]int32, n),
 		head:        make([]int32, n),
-		loads:       make([]int32, n),
+		eng:         eng,
 		pos:         make([]int32, m),
 		hops:        make([]int64, m),
 		enqueuedAt:  make([]int64, m),
@@ -162,7 +166,6 @@ func NewTokenProcess(loads []int32, src *rng.Source, opts TokenOptions) (*TokenP
 	ball := int32(0)
 	for u := 0; u < n; u++ {
 		l := loads[u]
-		p.loads[u] = l
 		if l > 0 {
 			q := make([]int32, l)
 			for i := int32(0); i < l; i++ {
@@ -187,26 +190,13 @@ func NewTokenProcess(loads []int32, src *rng.Source, opts TokenOptions) (*TokenP
 			p.coverRound = 0
 		}
 	}
-	p.refreshStats()
 	return p, nil
 }
 
-func (p *TokenProcess) refreshStats() {
-	var max int32
-	empty := 0
-	for _, l := range p.loads {
-		if l > max {
-			max = l
-		}
-		if l == 0 {
-			empty++
-		}
-	}
-	p.maxLoad = max
-	p.empty = empty
-}
-
 // pop removes and returns one ball from non-empty bin u per the strategy.
+// The bin's load count is maintained by the stepping layer (the caller
+// releases through engine.State.ReleaseEach), so pop touches only the
+// queue storage.
 func (p *TokenProcess) pop(u int) int32 {
 	q := p.queue[u]
 	h := p.head[u]
@@ -244,7 +234,6 @@ func (p *TokenProcess) pop(u int) int32 {
 			p.head[u] = 0
 		}
 	}
-	p.loads[u]--
 	return ball
 }
 
@@ -256,13 +245,11 @@ func (p *TokenProcess) pop(u int) int32 {
 func (p *TokenProcess) Step() {
 	n := p.n
 	moves := p.moves[:0]
-	for u := 0; u < n; u++ {
-		if p.loads[u] > 0 {
-			ball := p.pop(u)
-			dest := int32(p.dest.Intn(n))
-			moves = append(moves, move{ball: ball, dest: dest})
-		}
-	}
+	p.eng.ReleaseEach(func(u int) {
+		ball := p.pop(u)
+		dest := int32(p.dest.Intn(n))
+		moves = append(moves, move{ball: ball, dest: dest})
+	})
 	now := p.round + 1
 	for _, mv := range moves {
 		b := mv.ball
@@ -276,7 +263,7 @@ func (p *TokenProcess) Step() {
 		}
 		u := mv.dest
 		p.queue[u] = append(p.queue[u], b)
-		p.loads[u]++
+		p.eng.Deposit(int(u))
 		p.pos[b] = u
 		p.hops[b]++
 		p.enqueuedAt[b] = now
@@ -290,9 +277,9 @@ func (p *TokenProcess) Step() {
 			}
 		}
 	}
+	p.eng.Commit()
 	p.moves = moves
 	p.round = now
-	p.refreshStats()
 }
 
 // Run advances the process by k rounds.
@@ -312,20 +299,19 @@ func (p *TokenProcess) Balls() int { return p.m }
 func (p *TokenProcess) Round() int64 { return p.round }
 
 // MaxLoad returns the current maximum bin load.
-func (p *TokenProcess) MaxLoad() int32 { return p.maxLoad }
+func (p *TokenProcess) MaxLoad() int32 { return p.eng.MaxLoad() }
 
 // EmptyBins returns the current number of empty bins.
-func (p *TokenProcess) EmptyBins() int { return p.empty }
+func (p *TokenProcess) EmptyBins() int { return p.eng.EmptyBins() }
+
+// NonEmptyBins returns |W(t)|, the current number of non-empty bins.
+func (p *TokenProcess) NonEmptyBins() int { return p.eng.NonEmptyBins() }
 
 // Load returns the load of bin u.
-func (p *TokenProcess) Load(u int) int32 { return p.loads[u] }
+func (p *TokenProcess) Load(u int) int32 { return p.eng.Load(u) }
 
 // LoadsCopy returns a fresh copy of the current load vector.
-func (p *TokenProcess) LoadsCopy() []int32 {
-	out := make([]int32, p.n)
-	copy(out, p.loads)
-	return out
-}
+func (p *TokenProcess) LoadsCopy() []int32 { return p.eng.LoadsCopy() }
 
 // Position returns the bin currently holding ball b.
 func (p *TokenProcess) Position(b int) int { return int(p.pos[b]) }
@@ -394,12 +380,15 @@ func (p *TokenProcess) RunUntilCovered(maxRounds int64) (int64, bool) {
 // CheckInvariants verifies queue/loads consistency, ball conservation, and
 // position agreement; tests call it after arbitrary step sequences.
 func (p *TokenProcess) CheckInvariants() error {
+	if err := p.eng.CheckInvariants(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
 	seen := make([]bool, p.m)
 	var total int64
 	for u := 0; u < p.n; u++ {
 		live := p.queue[u][p.head[u]:]
-		if int32(len(live)) != p.loads[u] {
-			return fmt.Errorf("core: bin %d queue length %d != load %d", u, len(live), p.loads[u])
+		if int32(len(live)) != p.eng.Load(u) {
+			return fmt.Errorf("core: bin %d queue length %d != load %d", u, len(live), p.eng.Load(u))
 		}
 		total += int64(len(live))
 		for _, b := range live {

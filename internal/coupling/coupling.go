@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/engine"
 	"repro/internal/rng"
 )
 
@@ -34,10 +35,8 @@ type Coupled struct {
 	n int
 	k int // Tetris arrivals per round, ⌈3n/4⌉
 
-	orig    []int32
-	tet     []int32
-	arrOrig []int32
-	arrTet  []int32
+	orig *engine.State
+	tet  *engine.State
 
 	src *rng.Source
 
@@ -46,9 +45,7 @@ type Coupled struct {
 	dominatedSoFar bool
 	firstViolation int64
 
-	maxOrig, maxTet             int32
 	windowMaxOrig, windowMaxTet int32
-	emptyOrig                   int
 }
 
 // New builds a coupled run from a shared initial configuration. Lemma 3
@@ -56,104 +53,74 @@ type Coupled struct {
 // (experiments probe what happens without it) but exposes it via
 // StartHadQuarterEmpty.
 func New(loads []int32, src *rng.Source) (*Coupled, error) {
-	n := len(loads)
-	if n < 1 {
-		return nil, errors.New("coupling: New with no bins")
-	}
 	if src == nil {
 		return nil, errors.New("coupling: New with nil rng source")
+	}
+	n := len(loads)
+	orig, err := engine.New(loads, engine.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("coupling: %w", err)
+	}
+	tet, err := engine.New(loads, engine.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("coupling: %w", err)
 	}
 	c := &Coupled{
 		n:              n,
 		k:              (3*n + 3) / 4,
-		orig:           make([]int32, n),
-		tet:            make([]int32, n),
-		arrOrig:        make([]int32, n),
-		arrTet:         make([]int32, n),
+		orig:           orig,
+		tet:            tet,
 		src:            src,
 		dominatedSoFar: true,
 		firstViolation: -1,
 	}
-	for i, l := range loads {
-		if l < 0 {
-			return nil, fmt.Errorf("coupling: bin %d has negative load %d", i, l)
-		}
-		c.orig[i] = l
-		c.tet[i] = l
-	}
-	c.refresh()
-	c.windowMaxOrig = c.maxOrig
-	c.windowMaxTet = c.maxTet
+	c.windowMaxOrig = orig.MaxLoad()
+	c.windowMaxTet = tet.MaxLoad()
 	return c, nil
-}
-
-func (c *Coupled) refresh() {
-	var mo, mt int32
-	empty := 0
-	for i := 0; i < c.n; i++ {
-		if c.orig[i] > mo {
-			mo = c.orig[i]
-		}
-		if c.tet[i] > mt {
-			mt = c.tet[i]
-		}
-		if c.orig[i] == 0 {
-			empty++
-		}
-	}
-	c.maxOrig, c.maxTet = mo, mt
-	c.emptyOrig = empty
 }
 
 // Step advances both processes one synchronous round on the joint space.
 func (c *Coupled) Step() {
 	n := c.n
 	// Original extraction: one destination per non-empty bin, in bin order.
-	// Matched Tetris balls replicate these destinations (case i).
+	// Matched Tetris balls replicate these destinations (case i); the
+	// Tetris deposits are staged before the Tetris release, which the
+	// stepping layer permits (staging and departures commute).
 	w := 0
-	for u := 0; u < n; u++ {
-		if c.orig[u] > 0 {
-			c.orig[u]--
-			w++
-			dest := c.src.Intn(n)
-			c.arrOrig[dest]++
-			if w <= c.k {
-				c.arrTet[dest]++
-			}
+	c.orig.ReleaseEach(func(u int) {
+		w++
+		dest := c.src.Intn(n)
+		c.orig.Deposit(dest)
+		if w <= c.k {
+			c.tet.Deposit(dest)
 		}
-	}
+	})
 	caseII := w > c.k
 	if caseII {
 		// Case (ii): discard the matched arrivals and redraw all K Tetris
 		// arrivals independently, exactly as the paper specifies.
-		for i := range c.arrTet {
-			c.arrTet[i] = 0
-		}
+		c.tet.ResetDeposits()
 		for i := 0; i < c.k; i++ {
-			c.arrTet[c.src.Intn(n)]++
+			c.tet.Deposit(c.src.Intn(n))
 		}
 		c.caseII++
 	} else {
 		// Remaining unmatched Tetris balls land independently.
 		for i := w; i < c.k; i++ {
-			c.arrTet[c.src.Intn(n)]++
+			c.tet.Deposit(c.src.Intn(n))
 		}
 	}
 	// Tetris departures: every non-empty Tetris bin discards one ball.
-	for u := 0; u < n; u++ {
-		if c.tet[u] > 0 {
-			c.tet[u]--
-		}
-	}
-	// Merge arrivals and check domination.
+	c.tet.ReleaseEach(nil)
+	c.orig.Commit()
+	c.tet.Commit()
+	// Check per-bin domination on the merged vectors.
 	dominated := true
+	ol, tl := c.orig.Loads(), c.tet.Loads()
 	for v := 0; v < n; v++ {
-		c.orig[v] += c.arrOrig[v]
-		c.tet[v] += c.arrTet[v]
-		c.arrOrig[v] = 0
-		c.arrTet[v] = 0
-		if c.tet[v] < c.orig[v] {
+		if tl[v] < ol[v] {
 			dominated = false
+			break
 		}
 	}
 	c.round++
@@ -161,12 +128,11 @@ func (c *Coupled) Step() {
 		c.dominatedSoFar = false
 		c.firstViolation = c.round
 	}
-	c.refresh()
-	if c.maxOrig > c.windowMaxOrig {
-		c.windowMaxOrig = c.maxOrig
+	if m := c.orig.MaxLoad(); m > c.windowMaxOrig {
+		c.windowMaxOrig = m
 	}
-	if c.maxTet > c.windowMaxTet {
-		c.windowMaxTet = c.maxTet
+	if m := c.tet.MaxLoad(); m > c.windowMaxTet {
+		c.windowMaxTet = m
 	}
 }
 
@@ -196,10 +162,10 @@ func (c *Coupled) Dominated() bool { return c.dominatedSoFar }
 func (c *Coupled) FirstViolationRound() int64 { return c.firstViolation }
 
 // MaxOriginal returns the current max load of the original process.
-func (c *Coupled) MaxOriginal() int32 { return c.maxOrig }
+func (c *Coupled) MaxOriginal() int32 { return c.orig.MaxLoad() }
 
 // MaxTetris returns the current max load of the Tetris process.
-func (c *Coupled) MaxTetris() int32 { return c.maxTet }
+func (c *Coupled) MaxTetris() int32 { return c.tet.MaxLoad() }
 
 // WindowMaxOriginal returns M_T, the running max of the original process.
 func (c *Coupled) WindowMaxOriginal() int32 { return c.windowMaxOrig }
@@ -209,21 +175,13 @@ func (c *Coupled) WindowMaxTetris() int32 { return c.windowMaxTet }
 
 // EmptyOriginal returns the current number of empty bins in the original
 // process.
-func (c *Coupled) EmptyOriginal() int { return c.emptyOrig }
+func (c *Coupled) EmptyOriginal() int { return c.orig.EmptyBins() }
 
 // OriginalLoads returns a copy of the original process's load vector.
-func (c *Coupled) OriginalLoads() []int32 {
-	out := make([]int32, c.n)
-	copy(out, c.orig)
-	return out
-}
+func (c *Coupled) OriginalLoads() []int32 { return c.orig.LoadsCopy() }
 
 // TetrisLoads returns a copy of the Tetris process's load vector.
-func (c *Coupled) TetrisLoads() []int32 {
-	out := make([]int32, c.n)
-	copy(out, c.tet)
-	return out
-}
+func (c *Coupled) TetrisLoads() []int32 { return c.tet.LoadsCopy() }
 
 // StartHadQuarterEmpty reports whether a configuration satisfies Lemma 3's
 // hypothesis of at least n/4 empty bins.
@@ -237,22 +195,22 @@ func StartHadQuarterEmpty(loads []int32) bool {
 	return float64(empty) >= float64(len(loads))/4
 }
 
-// CheckInvariants verifies ball conservation in the original component and
-// non-negativity in both.
+// CheckInvariants verifies ball conservation in the original component,
+// non-negativity in both, and the engines' incremental statistics.
 func (c *Coupled) CheckInvariants(wantBalls int64) error {
-	var s int64
-	for i := 0; i < c.n; i++ {
-		if c.orig[i] < 0 || c.tet[i] < 0 {
-			return fmt.Errorf("coupling: negative load at bin %d", i)
-		}
-		s += int64(c.orig[i])
+	if err := c.orig.CheckInvariants(); err != nil {
+		return fmt.Errorf("coupling: original: %w", err)
 	}
-	if s != wantBalls {
+	if err := c.tet.CheckInvariants(); err != nil {
+		return fmt.Errorf("coupling: tetris: %w", err)
+	}
+	if s := c.orig.Sum(); s != wantBalls {
 		return fmt.Errorf("coupling: original has %d balls, want %d", s, wantBalls)
 	}
 	if c.dominatedSoFar {
+		ol, tl := c.orig.Loads(), c.tet.Loads()
 		for i := 0; i < c.n; i++ {
-			if c.tet[i] < c.orig[i] {
+			if tl[i] < ol[i] {
 				return fmt.Errorf("coupling: domination flag stale at bin %d", i)
 			}
 		}
@@ -264,8 +222,9 @@ func (c *Coupled) CheckInvariants(wantBalls int64) error {
 // domination is currently violated) — a diagnostic for the E4 table.
 func (c *Coupled) DominationGap() int32 {
 	gap := int32(math.MaxInt32)
+	ol, tl := c.orig.Loads(), c.tet.Loads()
 	for i := 0; i < c.n; i++ {
-		if d := c.tet[i] - c.orig[i]; d < gap {
+		if d := tl[i] - ol[i]; d < gap {
 			gap = d
 		}
 	}

@@ -1,0 +1,33 @@
+package engine
+
+import "repro/internal/rng"
+
+// Drawer adapts a *rng.Source for the stepping layer: it exposes the same
+// bounded draw the engines have always used (Lemire's method via
+// Source.Intn) plus a batched form that fills a whole destination slice in
+// one tight loop. Batching does not change the draw sequence — Fill
+// performs exactly len(dst) bounded draws in order, so a trajectory is
+// identical whether destinations are drawn one at a time or in a batch.
+// A Drawer is not safe for concurrent use.
+type Drawer struct {
+	src *rng.Source
+}
+
+// NewDrawer wraps src. The Drawer draws directly from src: interleaving
+// calls on the Drawer and on src preserves the overall sequence.
+func NewDrawer(src *rng.Source) *Drawer {
+	return &Drawer{src: src}
+}
+
+// Intn returns one uniform draw in [0, n).
+func (d *Drawer) Intn(n int) int { return d.src.Intn(n) }
+
+// Fill sets dst[i] to an independent uniform draw in [0, bound) for every
+// i, in index order, consuming exactly len(dst) bounded draws.
+func (d *Drawer) Fill(dst []int32, bound int) {
+	src := d.src
+	b := uint64(bound)
+	for i := range dst {
+		dst[i] = int32(src.Uint64n(b))
+	}
+}

@@ -1,0 +1,510 @@
+// Package engine is the shared stepping layer under every synchronous
+// process in this repository (core.Process, core.TokenProcess,
+// core.ChoicesProcess, tetris.Process, coupling.Coupled, walks.Traversal).
+//
+// The paper's headline regime is sparse: after self-stabilization most bins
+// hold O(1) balls, and from the worst-case AllInOne start only a handful of
+// bins are non-empty for a long prefix of the run. A State therefore keeps
+// the set of non-empty bins as an incrementally maintained worklist
+// (internal/bitset, iterated in increasing bin order) and updates max-load
+// and empty-count from the bins actually touched in a round, instead of
+// rescanning all n bins. When the worklist grows past a constant fraction
+// of n the State switches to a dense scan for that round — the dense scan
+// is cheaper per bin, and the switch is invisible to callers.
+//
+// # Round protocol
+//
+// A synchronous round against a State is:
+//
+//	state.ReleaseEach(visit)        // or ReleaseUniform(drawer, visit)
+//	state.Deposit(v)                // zero or more, any time before Commit
+//	state.Commit()
+//
+// Release* removes exactly one ball from every non-empty bin, visiting bins
+// in increasing bin order. Deposit stages an arrival; staged arrivals are
+// not visible through Load until Commit merges them. Commit completes the
+// round and refreshes MaxLoad/EmptyBins. Deposits may also be staged before
+// the round's Release* call (the coupling construction needs this); the
+// effect is identical.
+//
+// # RNG draw-order contract
+//
+// Sparse and dense rounds consume randomness identically: whatever draws
+// the caller performs happen once per released bin, in increasing bin
+// order, because that is the order both release paths visit bins in.
+// ReleaseUniform itself draws exactly one bounded value per non-empty bin,
+// in bin order, from the supplied Drawer. A State therefore produces
+// byte-identical trajectories to the historical dense engines for any seed
+// — the golden tests pin this.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bitset"
+)
+
+// trailingZeros is a local alias keeping the worklist drain loops compact.
+func trailingZeros(w uint64) int { return bits.TrailingZeros64(w) }
+
+// sparseDenom sets the sparse/dense switch: a round runs sparse when
+// |W| * sparseDenom < n. The dense per-bin constant is a few ns while the
+// sparse per-bin constant is roughly 3× that, so n/3 is the break-even.
+const sparseDenom = 3
+
+// Options configures a State.
+type Options struct {
+	// OnEmptied, if non-nil, is invoked during Commit for every bin that
+	// was non-empty at the start of the round and is empty after arrivals
+	// merge, in increasing bin order. Tetris uses it for the Lemma 4
+	// first-emptying times.
+	OnEmptied func(u int)
+}
+
+// State is a load vector with an incrementally maintained non-empty-bin
+// worklist and O(touched) per-round statistics. Create with New; not safe
+// for concurrent use.
+type State struct {
+	n    int
+	load []int32
+	work *bitset.Set
+
+	nonEmpty int
+	maxLoad  int32
+
+	arr     []int32 // staged arrivals, arr[v] ≠ 0 only while staged
+	touched []int32 // bins with staged arrivals (host deposits and sparse rounds)
+	zeroed  []int32 // bins released to zero this round (only if onEmptied != nil)
+	bins    []int32 // scratch: released bins of a sparse ReleaseUniform
+	dests   []int32 // scratch: batched destinations of a sparse ReleaseUniform
+
+	stepMax   int32 // max post-release load seen this round (sparse rounds)
+	sparse    bool  // mode of the in-flight round
+	inRound   bool
+	workStale bool // worklist bits out of date (rebuilt lazily after dense rounds)
+	onEmptied func(u int)
+}
+
+// New builds a State over a copy of loads. It returns an error if loads is
+// empty or contains a negative entry.
+func New(loads []int32, opts Options) (*State, error) {
+	n := len(loads)
+	if n < 1 {
+		return nil, errors.New("engine: New with no bins")
+	}
+	s := &State{
+		n:         n,
+		load:      make([]int32, n),
+		work:      bitset.New(n),
+		arr:       make([]int32, n),
+		onEmptied: opts.OnEmptied,
+	}
+	if err := s.Reload(loads); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Reload replaces the configuration wholesale and refreshes all statistics
+// — the one full-vector scan in the layer (construction and the §4.1
+// adversarial reassignment both funnel through it). It must not be called
+// mid-round.
+func (s *State) Reload(loads []int32) error {
+	if len(loads) != s.n {
+		return fmt.Errorf("engine: Reload with %d bins, want %d", len(loads), s.n)
+	}
+	if s.inRound {
+		return errors.New("engine: Reload mid-round")
+	}
+	var max int32
+	nonEmpty := 0
+	for base := 0; base < s.n; base += 64 {
+		lim := base + 64
+		if lim > s.n {
+			lim = s.n
+		}
+		var w uint64
+		for v := base; v < lim; v++ {
+			l := loads[v]
+			if l < 0 {
+				return fmt.Errorf("engine: bin %d has negative load %d", v, l)
+			}
+			s.load[v] = l
+			if l > 0 {
+				w |= 1 << uint(v-base)
+				nonEmpty++
+				if l > max {
+					max = l
+				}
+			}
+		}
+		s.work.SetWord(base>>6, w)
+	}
+	s.maxLoad = max
+	s.nonEmpty = nonEmpty
+	s.workStale = false
+	return nil
+}
+
+// N returns the number of bins.
+func (s *State) N() int { return s.n }
+
+// MaxLoad returns the current maximum bin load.
+func (s *State) MaxLoad() int32 { return s.maxLoad }
+
+// EmptyBins returns the current number of empty bins.
+func (s *State) EmptyBins() int { return s.n - s.nonEmpty }
+
+// NonEmptyBins returns |W|, the current number of non-empty bins.
+func (s *State) NonEmptyBins() int { return s.nonEmpty }
+
+// Load returns the load of bin u. Between a Release* call and Commit it
+// reflects the post-departure, pre-arrival snapshot (the d-choices rule
+// compares against exactly this snapshot).
+func (s *State) Load(u int) int32 { return s.load[u] }
+
+// Loads returns the live load vector. Callers must not modify it and must
+// copy it if they need it across rounds.
+func (s *State) Loads() []int32 { return s.load }
+
+// LoadsCopy returns a fresh copy of the current load vector.
+func (s *State) LoadsCopy() []int32 {
+	out := make([]int32, s.n)
+	copy(out, s.load)
+	return out
+}
+
+// Sum returns the total number of balls currently in the system (staged
+// arrivals excluded).
+func (s *State) Sum() int64 {
+	var t int64
+	for _, l := range s.load {
+		t += int64(l)
+	}
+	return t
+}
+
+// Deposit stages one arriving ball at bin v. Staged balls become visible at
+// Commit.
+func (s *State) Deposit(v int) {
+	if s.arr[v] == 0 {
+		s.touched = append(s.touched, int32(v))
+	}
+	s.arr[v]++
+}
+
+// ResetDeposits discards every staged arrival (the coupling's case (ii)
+// redraw needs this).
+func (s *State) ResetDeposits() {
+	for _, v := range s.touched {
+		s.arr[v] = 0
+	}
+	s.touched = s.touched[:0]
+}
+
+// beginRound decides the round's mode and resets per-round scratch. Dense
+// rounds do not maintain the worklist bits (they never read them); the
+// first sparse round after a dense one rebuilds the bits in a single pass,
+// so the rebuild cost is amortized across the dense stretch.
+func (s *State) beginRound() {
+	if s.inRound {
+		panic("engine: Release called twice without Commit")
+	}
+	s.inRound = true
+	s.sparse = s.nonEmpty*sparseDenom < s.n
+	s.stepMax = 0
+	s.zeroed = s.zeroed[:0]
+	if s.sparse && s.workStale {
+		s.rebuildWork()
+	}
+	if !s.sparse {
+		s.workStale = true
+	}
+}
+
+// rebuildWork reconstructs the worklist bits from the load vector.
+func (s *State) rebuildWork() {
+	load := s.load
+	var w uint64
+	bit := uint64(1)
+	wi := 0
+	for v := range load {
+		if load[v] > 0 {
+			w |= bit
+		}
+		if bit <<= 1; bit == 0 {
+			s.work.SetWord(wi, w)
+			wi, w, bit = wi+1, 0, 1
+		}
+	}
+	if len(load)&63 != 0 {
+		s.work.SetWord(wi, w)
+	}
+	s.workStale = false
+}
+
+// ReleaseEach removes one ball from every non-empty bin, calling visit(u)
+// (if non-nil) per bin in increasing bin order, and returns the number of
+// released balls. Loads observed through Load during the callbacks are
+// post-departure for bins at or before u and pre-departure after it;
+// arrival staging via Deposit never shows through Load until Commit.
+func (s *State) ReleaseEach(visit func(u int)) int {
+	s.beginRound()
+	if !s.sparse {
+		return s.releaseEachDense(visit)
+	}
+	released := 0
+	track := s.onEmptied != nil
+	for wi, nw := 0, s.work.NumWords(); wi < nw; wi++ {
+		w := s.work.Word(wi)
+		base := wi << 6
+		for w != 0 {
+			u := base + trailingZeros(w)
+			w &= w - 1
+			l := s.load[u] - 1
+			s.load[u] = l
+			if l == 0 {
+				s.work.Clear(u)
+				s.nonEmpty--
+				if track {
+					s.zeroed = append(s.zeroed, int32(u))
+				}
+			} else if l > s.stepMax {
+				s.stepMax = l
+			}
+			if visit != nil {
+				visit(u)
+			}
+			released++
+		}
+	}
+	return released
+}
+
+// releaseEachDense is the dense-mode ReleaseEach: a straight scan, cheaper
+// per bin once most bins are occupied. The worklist is rebuilt at Commit.
+func (s *State) releaseEachDense(visit func(u int)) int {
+	released := 0
+	track := s.onEmptied != nil
+	for u := 0; u < s.n; u++ {
+		if s.load[u] > 0 {
+			l := s.load[u] - 1
+			s.load[u] = l
+			if track && l == 0 {
+				s.zeroed = append(s.zeroed, int32(u))
+			}
+			if visit != nil {
+				visit(u)
+			}
+			released++
+		}
+	}
+	return released
+}
+
+// ReleaseUniform removes one ball from every non-empty bin and stages each
+// released ball at a destination drawn uniformly from [0, n) — the repeated
+// balls-into-bins law. Exactly one bounded draw is consumed per non-empty
+// bin, in increasing bin order (the repository-wide draw-order contract).
+// If visit is non-nil it is invoked as visit(u, dest) per released bin, in
+// the same order. Returns the number of released balls.
+func (s *State) ReleaseUniform(d *Drawer, visit func(u, dest int)) int {
+	s.beginRound()
+	if !s.sparse {
+		return s.releaseUniformDense(d, visit)
+	}
+	// Pass 1: drain the worklist, collecting released bins.
+	bins := s.bins[:0]
+	track := s.onEmptied != nil
+	for wi, nw := 0, s.work.NumWords(); wi < nw; wi++ {
+		w := s.work.Word(wi)
+		base := wi << 6
+		for w != 0 {
+			u := base + trailingZeros(w)
+			w &= w - 1
+			l := s.load[u] - 1
+			s.load[u] = l
+			if l == 0 {
+				s.work.Clear(u)
+				s.nonEmpty--
+				if track {
+					s.zeroed = append(s.zeroed, int32(u))
+				}
+			} else if l > s.stepMax {
+				s.stepMax = l
+			}
+			bins = append(bins, int32(u))
+		}
+	}
+	s.bins = bins
+	// Pass 2: batched destination draws, one per released bin in bin order.
+	if cap(s.dests) < len(bins) {
+		s.dests = make([]int32, len(bins))
+	}
+	dests := s.dests[:len(bins)]
+	d.Fill(dests, s.n)
+	// Pass 3: stage arrivals (and report moves).
+	for i, ub := range bins {
+		v := int(dests[i])
+		if s.arr[v] == 0 {
+			s.touched = append(s.touched, int32(v))
+		}
+		s.arr[v]++
+		if visit != nil {
+			visit(int(ub), v)
+		}
+	}
+	return len(bins)
+}
+
+// releaseUniformDense is the dense-mode ReleaseUniform: scan, draw and
+// stage in one pass; arr is drained wholesale by the dense Commit. The
+// common nil-visit, no-tracking case gets a dedicated loop so the compiler
+// can keep it tight (this is the per-round hot path of core.Process in the
+// stationary regime).
+func (s *State) releaseUniformDense(d *Drawer, visit func(u, dest int)) int {
+	released := 0
+	load := s.load
+	n := len(load)
+	arr := s.arr[:n]
+	if visit == nil && s.onEmptied == nil {
+		src := d.src
+		for u := range load {
+			if l := load[u]; l > 0 {
+				load[u] = l - 1
+				arr[src.Intn(n)]++
+				released++
+			}
+		}
+		return released
+	}
+	track := s.onEmptied != nil
+	for u := range load {
+		if load[u] > 0 {
+			l := load[u] - 1
+			load[u] = l
+			if track && l == 0 {
+				s.zeroed = append(s.zeroed, int32(u))
+			}
+			dest := d.Intn(n)
+			arr[dest]++
+			if visit != nil {
+				visit(u, dest)
+			}
+			released++
+		}
+	}
+	return released
+}
+
+// Commit merges the staged arrivals, refreshes MaxLoad and EmptyBins, and
+// fires the OnEmptied callback for bins that released to zero and received
+// no arrival. It completes the round opened by ReleaseEach/ReleaseUniform.
+func (s *State) Commit() {
+	if !s.inRound {
+		panic("engine: Commit without Release")
+	}
+	s.inRound = false
+	if s.sparse {
+		s.commitSparse()
+	} else {
+		s.commitDense()
+	}
+	if s.onEmptied != nil {
+		for _, u := range s.zeroed {
+			if s.load[u] == 0 {
+				s.onEmptied(int(u))
+			}
+		}
+		s.zeroed = s.zeroed[:0]
+	}
+}
+
+// commitSparse merges only the touched bins. Every bin that can hold a ball
+// after the round is either a released bin (its post-release load entered
+// stepMax) or a touched arrival bin (merged here), so the maximum over both
+// is the exact new maximum.
+func (s *State) commitSparse() {
+	max := s.stepMax
+	for _, tv := range s.touched {
+		v := int(tv)
+		old := s.load[v]
+		l := old + s.arr[v]
+		s.arr[v] = 0
+		s.load[v] = l
+		if old == 0 {
+			s.work.Set(v)
+			s.nonEmpty++
+		}
+		if l > max {
+			max = l
+		}
+	}
+	s.touched = s.touched[:0]
+	s.maxLoad = max
+}
+
+// commitDense merges with a full scan, recomputing the statistics and
+// rebuilding the worklist a word at a time.
+func (s *State) commitDense() {
+	var max int32
+	empty := 0
+	load := s.load
+	arr := s.arr[:len(load)]
+	// Two flat conditionals (not one nested block): `l == 0` is a 40/60
+	// coin flip in the stationary regime, and this shape lets the compiler
+	// emit a branchless increment for it.
+	for v := range load {
+		l := load[v] + arr[v]
+		arr[v] = 0
+		load[v] = l
+		if l > max {
+			max = l
+		}
+		if l == 0 {
+			empty++
+		}
+	}
+	s.touched = s.touched[:0]
+	s.maxLoad = max
+	s.nonEmpty = len(load) - empty
+}
+
+// CheckInvariants verifies that the worklist, counters and cached maximum
+// agree with the load vector; tests call it after arbitrary rounds.
+func (s *State) CheckInvariants() error {
+	if s.inRound {
+		return errors.New("engine: CheckInvariants mid-round")
+	}
+	if s.workStale {
+		s.rebuildWork()
+	}
+	var max int32
+	nonEmpty := 0
+	for u, l := range s.load {
+		if l < 0 {
+			return fmt.Errorf("engine: bin %d negative load %d", u, l)
+		}
+		if (l > 0) != s.work.Test(u) {
+			return fmt.Errorf("engine: worklist bit %d = %v for load %d", u, s.work.Test(u), l)
+		}
+		if l > 0 {
+			nonEmpty++
+			if l > max {
+				max = l
+			}
+		}
+		if s.arr[u] != 0 {
+			return fmt.Errorf("engine: leftover staged arrival at bin %d", u)
+		}
+	}
+	if nonEmpty != s.nonEmpty {
+		return fmt.Errorf("engine: nonEmpty %d, counted %d", s.nonEmpty, nonEmpty)
+	}
+	if max != s.maxLoad {
+		return fmt.Errorf("engine: maxLoad %d, counted %d", s.maxLoad, max)
+	}
+	return nil
+}

@@ -6,10 +6,10 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/table"
-	"repro/internal/timeseries"
 )
 
 // E17Tightness probes the paper's final open question (§5): is the
@@ -43,12 +43,9 @@ func E17Tightness(cfg Config) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			var mt timeseries.MaxTracker
-			for i := int64(0); i < window; i++ {
-				p.Step()
-				mt.Observe(p.Round(), float64(p.MaxLoad()))
-			}
-			return []float64{oneShot, mt.Max()}, nil
+			var wm engine.WindowMax
+			engine.Run(p, window, &wm)
+			return []float64{oneShot, float64(wm.Max())}, nil
 		})
 		if err != nil {
 			return nil, err
@@ -97,18 +94,13 @@ func E18DChoices(cfg Config) (*Result, error) {
 	maxes := make([]float64, 0, len(ds))
 	for _, d := range ds {
 		d := d
-		res, err := sim.RunScalar(trials, cfg.Seed+uint64(1800+d), "max",
-			func(_ int, src *rng.Source) (float64, error) {
+		res, err := sim.WindowMax(trials, cfg.Seed+uint64(1800+d), window,
+			func(_ int, src *rng.Source) (engine.Stepper, error) {
 				p, err := core.NewChoicesProcess(config.OnePerBin(n), d, src)
 				if err != nil {
-					return 0, err
+					return nil, err
 				}
-				var mt timeseries.MaxTracker
-				for i := int64(0); i < window; i++ {
-					p.Step()
-					mt.Observe(p.Round(), float64(p.MaxLoad()))
-				}
-				return mt.Max(), nil
+				return p, nil
 			})
 		if err != nil {
 			return nil, err

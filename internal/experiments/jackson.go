@@ -5,10 +5,10 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/jackson"
 	"repro/internal/rng"
 	"repro/internal/table"
-	"repro/internal/timeseries"
 )
 
 // E19Jackson compares the paper's synchronous process against the closed
@@ -50,12 +50,9 @@ func E19Jackson(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		var mt timeseries.MaxTracker
-		for i := int64(0); i < window; i++ {
-			proc.Step()
-			mt.Observe(proc.Round(), float64(proc.MaxLoad()))
-		}
-		parMax := mt.Max()
+		var wm engine.WindowMax
+		engine.Run(proc, window, &wm)
+		parMax := float64(wm.Max())
 
 		ratio := seqMax / parMax
 		bothLog := seqMax <= 6*lnF(n) && parMax <= 6*lnF(n) &&

@@ -6,10 +6,10 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/table"
-	"repro/internal/timeseries"
 )
 
 // E12NegativeAssociation reproduces Appendix B: for n = 2 starting from
@@ -158,18 +158,13 @@ func E16Oblivious(cfg Config) (*Result, error) {
 	ses := make([]float64, len(strategies))
 	for i, s := range strategies {
 		s := s
-		res, err := sim.RunScalar(trials, cfg.Seed+uint64(1600+i), "max",
-			func(_ int, src *rng.Source) (float64, error) {
+		res, err := sim.WindowMax(trials, cfg.Seed+uint64(1600+i), window,
+			func(_ int, src *rng.Source) (engine.Stepper, error) {
 				tp, err := core.NewTokenProcess(config.OnePerBin(n), src, core.TokenOptions{Strategy: s})
 				if err != nil {
-					return 0, err
+					return nil, err
 				}
-				var mt timeseries.MaxTracker
-				for r := int64(0); r < window; r++ {
-					tp.Step()
-					mt.Observe(tp.Round(), float64(tp.MaxLoad()))
-				}
-				return mt.Max(), nil
+				return tp, nil
 			})
 		if err != nil {
 			return nil, err

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -29,18 +30,13 @@ func E01Stability(cfg Config) (*Result, error) {
 	pass := true
 	for _, n := range ns {
 		window := int64(windowMult * n)
-		res, err := sim.RunScalar(trials, cfg.Seed+uint64(n), "maxload",
-			func(_ int, src *rng.Source) (float64, error) {
+		res, err := sim.WindowMax(trials, cfg.Seed+uint64(n), window,
+			func(_ int, src *rng.Source) (engine.Stepper, error) {
 				p, err := core.NewProcess(config.OnePerBin(n), src)
 				if err != nil {
-					return 0, err
+					return nil, err
 				}
-				var mt timeseries.MaxTracker
-				for i := int64(0); i < window; i++ {
-					p.Step()
-					mt.Observe(p.Round(), float64(p.MaxLoad()))
-				}
-				return mt.Max(), nil
+				return p, nil
 			})
 		if err != nil {
 			return nil, err
@@ -139,22 +135,14 @@ func E03EmptyBins(cfg Config) (*Result, error) {
 				return nil, err
 			}
 			window := int64(windowMult * n)
-			minFrac := 1.0
-			var meanAcc stats.Stream
 			p.Step() // Lemma 1 speaks about rounds after the first
-			for i := int64(1); i < window; i++ {
-				p.Step()
-				frac := float64(p.EmptyBins()) / float64(n)
-				if frac < minFrac {
-					minFrac = frac
-				}
-				meanAcc.Add(frac)
-			}
-			ok := minFrac >= 0.25
+			var ef engine.EmptyFraction
+			engine.Run(p, window-1, &ef)
+			ok := ef.Min() >= 0.25
 			if !ok {
 				pass = false
 			}
-			t.AddRow(n, string(start), window, minFrac, meanAcc.Mean(), boolCell(ok))
+			t.AddRow(n, string(start), window, ef.Min(), ef.Mean(), boolCell(ok))
 		}
 	}
 	t.AddNote("paper: P(≥ n/4 empty) ≥ 1 − e^{−αn} per round; stationary fraction concentrates near 0.37–0.42")
@@ -187,14 +175,10 @@ func E11SqrtBaseline(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	var runMax int32
-	for i := int64(0); i < window; i++ {
-		p.Step()
-		if p.MaxLoad() > runMax {
-			runMax = p.MaxLoad()
-		}
-		cps.Observe(p.Round(), float64(runMax))
-	}
+	var wm engine.WindowMax
+	engine.Run(p, window, &wm, engine.ObserverFunc(func(s engine.Stepper) {
+		cps.Observe(s.Round(), float64(wm.Max()))
+	}))
 
 	t := table.New(fmt.Sprintf("E11 observed running-max load vs the prior O(√t) bound (n = %d)", n),
 		"t", "running max M", "ln n", "√t ([12] shape)", "M ≤ √t")
@@ -254,16 +238,16 @@ func E13ManyBalls(cfg Config) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			var mt timeseries.MaxTracker
+			var wm engine.WindowMax
 			var half float64
-			for i := int64(0); i < window; i++ {
-				p.Step()
-				mt.Observe(p.Round(), float64(p.MaxLoad()))
+			i := int64(0)
+			engine.Run(p, window, &wm, engine.ObserverFunc(func(engine.Stepper) {
 				if i == window/2 {
-					half = mt.Max()
+					half = float64(wm.Max())
 				}
-			}
-			return []float64{mt.Max(), half}, nil
+				i++
+			}))
+			return []float64{float64(wm.Max()), half}, nil
 		})
 		if err != nil {
 			return nil, err
@@ -282,18 +266,13 @@ func E13ManyBalls(cfg Config) (*Result, error) {
 	}
 	// m = n log n — the paper's explicit open question "any m = O(n log n)".
 	mBig := int(float64(n) * lnF(n))
-	res, err := sim.RunScalar(trials, cfg.Seed+uint64(mBig), "max",
-		func(_ int, src *rng.Source) (float64, error) {
+	res, err := sim.WindowMax(trials, cfg.Seed+uint64(mBig), window,
+		func(_ int, src *rng.Source) (engine.Stepper, error) {
 			p, err := core.NewProcess(config.UniformRandom(n, mBig, src), src)
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
-			var mt timeseries.MaxTracker
-			for i := int64(0); i < window; i++ {
-				p.Step()
-				mt.Observe(p.Round(), float64(p.MaxLoad()))
-			}
-			return mt.Max(), nil
+			return p, nil
 		})
 	if err != nil {
 		return nil, err

@@ -4,11 +4,11 @@ import (
 	"fmt"
 
 	"repro/internal/config"
+	"repro/internal/engine"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/table"
 	"repro/internal/tetris"
-	"repro/internal/timeseries"
 )
 
 // E05TetrisEmptying reproduces Lemma 4: in the Tetris process, starting
@@ -69,18 +69,13 @@ func E07TetrisLoad(cfg Config) (*Result, error) {
 	pass := true
 	for _, n := range ns {
 		window := int64(windowMult * n)
-		res, err := sim.RunScalar(trials, cfg.Seed+uint64(7*n), "maxload",
-			func(_ int, src *rng.Source) (float64, error) {
+		res, err := sim.WindowMax(trials, cfg.Seed+uint64(7*n), window,
+			func(_ int, src *rng.Source) (engine.Stepper, error) {
 				p, err := tetris.New(config.OnePerBin(n), src, tetris.Options{})
 				if err != nil {
-					return 0, err
+					return nil, err
 				}
-				var mt timeseries.MaxTracker
-				for i := int64(0); i < window; i++ {
-					p.Step()
-					mt.Observe(p.Round(), float64(p.MaxLoad()))
-				}
-				return mt.Max(), nil
+				return p, nil
 			})
 		if err != nil {
 			return nil, err
@@ -129,25 +124,24 @@ func E15LeakyBins(cfg Config) (*Result, error) {
 			}
 			// Warm-up to reach stationarity before measuring.
 			p.Run(int64(4 * n))
-			var mt timeseries.MaxTracker
+			var wm engine.WindowMax
 			var ballsSum float64
-			for i := int64(0); i < window; i++ {
-				p.Step()
-				mt.Observe(p.Round(), float64(p.MaxLoad()))
+			engine.Run(p, window, &wm, engine.ObserverFunc(func(engine.Stepper) {
 				ballsSum += float64(p.Balls())
-			}
-			norm := mt.Max() / lnF(n)
+			}))
+			maxLoad := float64(wm.Max())
+			norm := maxLoad / lnF(n)
 			// [18]'s bound is O(log n) for fixed λ < 1 with the constant
 			// scaling like 1/(1−λ); band the check accordingly.
-			if mt.Max() > 3*lnF(n)/(1-lambda) {
+			if maxLoad > 3*lnF(n)/(1-lambda) {
 				pass = false
 			}
-			if prev, okPrev := prevByLaw[law.String()]; okPrev && mt.Max() < prev {
+			if prev, okPrev := prevByLaw[law.String()]; okPrev && maxLoad < prev {
 				// Max load must not decrease as λ increases (within a law).
 				pass = false
 			}
-			prevByLaw[law.String()] = mt.Max()
-			t.AddRow(law.String(), lambda, window, mt.Max(), norm, ballsSum/float64(window))
+			prevByLaw[law.String()] = maxLoad
+			t.AddRow(law.String(), lambda, window, maxLoad, norm, ballsSum/float64(window))
 		}
 	}
 	t.AddNote("[18] proves O(log n) max load for λ < 1 (\"the power of leaky bins\"); load grows as λ → 1")

@@ -1,0 +1,26 @@
+package sim
+
+import (
+	"repro/internal/engine"
+	"repro/internal/rng"
+)
+
+// StepperBuilder constructs a fresh process for one trial, seeded from the
+// trial's private source. Every engine in this repository satisfies
+// engine.Stepper, so one builder signature covers them all.
+type StepperBuilder func(trial int, src *rng.Source) (engine.Stepper, error)
+
+// WindowMax runs trials of the most common experiment shape — build a
+// process, advance it window rounds, report the running maximum load
+// (the M_T statistic of Theorem 1(a)) — and aggregates the results.
+func WindowMax(trials int, seed uint64, window int64, build StepperBuilder) (Result, error) {
+	return RunScalar(trials, seed, "windowmax", func(t int, src *rng.Source) (float64, error) {
+		s, err := build(t, src)
+		if err != nil {
+			return 0, err
+		}
+		var wm engine.WindowMax
+		engine.Run(s, window, &wm)
+		return float64(wm.Max()), nil
+	})
+}

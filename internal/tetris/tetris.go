@@ -27,6 +27,7 @@ import (
 	"math"
 
 	"repro/internal/dist"
+	"repro/internal/engine"
 	"repro/internal/rng"
 )
 
@@ -69,10 +70,9 @@ type Options struct {
 // Process is a Tetris process instance. Create one with New; not safe for
 // concurrent use.
 type Process struct {
-	n        int
-	loads    []int32
-	arrivals []int32
-	src      *rng.Source
+	n   int
+	eng *engine.State
+	src *rng.Source
 
 	law    ArrivalLaw
 	lambda float64
@@ -80,14 +80,14 @@ type Process struct {
 	binom  *dist.Binomial
 	pois   *dist.Poisson
 
-	round   int64
-	maxLoad int32
-	empty   int
-	balls   int64
+	round int64
+	balls int64
 
 	// firstEmpty[u] is the first round at which bin u was empty (0 if it
 	// started empty), or −1 if it has never been empty. Drives the Lemma 4
-	// experiment.
+	// experiment. Maintained by the stepping layer's OnEmptied hook, which
+	// fires exactly when a bin releases to zero and receives no arrival —
+	// the same post-merge emptiness the dense scan used to observe.
 	firstEmpty   []int64
 	neverEmptied int
 }
@@ -110,19 +110,18 @@ func New(loads []int32, src *rng.Source, opts Options) (*Process, error) {
 	}
 	p := &Process{
 		n:          n,
-		loads:      make([]int32, n),
-		arrivals:   make([]int32, n),
 		src:        src,
 		law:        opts.Law,
 		lambda:     lambda,
 		firstEmpty: make([]int64, n),
 	}
+	eng, err := engine.New(loads, engine.Options{OnEmptied: p.markEmptied})
+	if err != nil {
+		return nil, fmt.Errorf("tetris: %w", err)
+	}
+	p.eng = eng
+	p.balls = eng.Sum()
 	for i, l := range loads {
-		if l < 0 {
-			return nil, fmt.Errorf("tetris: bin %d has negative load %d", i, l)
-		}
-		p.loads[i] = l
-		p.balls += int64(l)
 		if l == 0 {
 			p.firstEmpty[i] = 0
 		} else {
@@ -148,23 +147,16 @@ func New(loads []int32, src *rng.Source, opts Options) (*Process, error) {
 	default:
 		return nil, fmt.Errorf("tetris: unknown arrival law %v", opts.Law)
 	}
-	p.refreshStats()
 	return p, nil
 }
 
-func (p *Process) refreshStats() {
-	var max int32
-	empty := 0
-	for _, l := range p.loads {
-		if l > max {
-			max = l
-		}
-		if l == 0 {
-			empty++
-		}
+// markEmptied records the first round at which a bin is observed empty
+// after arrivals merge; the stepping layer invokes it from Commit.
+func (p *Process) markEmptied(u int) {
+	if p.firstEmpty[u] < 0 {
+		p.firstEmpty[u] = p.round + 1
+		p.neverEmptied--
 	}
-	p.maxLoad = max
-	p.empty = empty
 }
 
 // arrivalsCount draws the number of new balls for the next round.
@@ -180,43 +172,18 @@ func (p *Process) arrivalsCount() int {
 }
 
 // Step advances one round: every non-empty bin discards one ball, then K
-// fresh balls land uniformly at random.
+// fresh balls land uniformly at random. Departures consume no randomness;
+// the K destination draws (preceded by the batch-size draw under the
+// Binomial/Poisson laws) happen after all departures, as in the paper.
 func (p *Process) Step() {
-	n := p.n
-	loads := p.loads
-	removed := int64(0)
-	for u := 0; u < n; u++ {
-		if loads[u] > 0 {
-			loads[u]--
-			removed++
-		}
-	}
+	removed := int64(p.eng.ReleaseEach(nil))
 	k := p.arrivalsCount()
 	for i := 0; i < k; i++ {
-		p.arrivals[p.src.Intn(n)]++
+		p.eng.Deposit(p.src.Intn(p.n))
 	}
-	next := p.round + 1
-	var max int32
-	empty := 0
-	for v := 0; v < n; v++ {
-		l := loads[v] + p.arrivals[v]
-		p.arrivals[v] = 0
-		loads[v] = l
-		if l > max {
-			max = l
-		}
-		if l == 0 {
-			empty++
-			if p.firstEmpty[v] < 0 {
-				p.firstEmpty[v] = next
-				p.neverEmptied--
-			}
-		}
-	}
+	p.eng.Commit()
 	p.balls += int64(k) - removed
-	p.maxLoad = max
-	p.empty = empty
-	p.round = next
+	p.round++
 }
 
 // Run advances the process by k rounds.
@@ -233,24 +200,23 @@ func (p *Process) N() int { return p.n }
 func (p *Process) Round() int64 { return p.round }
 
 // MaxLoad returns the current maximum bin load M̂(t).
-func (p *Process) MaxLoad() int32 { return p.maxLoad }
+func (p *Process) MaxLoad() int32 { return p.eng.MaxLoad() }
 
 // EmptyBins returns the current number of empty bins.
-func (p *Process) EmptyBins() int { return p.empty }
+func (p *Process) EmptyBins() int { return p.eng.EmptyBins() }
+
+// NonEmptyBins returns the current number of non-empty bins.
+func (p *Process) NonEmptyBins() int { return p.eng.NonEmptyBins() }
 
 // Balls returns the current total number of balls in the system (Tetris
 // does not conserve balls).
 func (p *Process) Balls() int64 { return p.balls }
 
 // Load returns the load of bin u.
-func (p *Process) Load(u int) int32 { return p.loads[u] }
+func (p *Process) Load(u int) int32 { return p.eng.Load(u) }
 
 // LoadsCopy returns a fresh copy of the load vector.
-func (p *Process) LoadsCopy() []int32 {
-	out := make([]int32, p.n)
-	copy(out, p.loads)
-	return out
-}
+func (p *Process) LoadsCopy() []int32 { return p.eng.LoadsCopy() }
 
 // FirstEmptyRound returns the first round at which bin u was empty, or −1
 // if it has not emptied yet.
@@ -281,16 +247,13 @@ func (p *Process) RunUntilAllEmptied(maxRounds int64) (int64, bool) {
 	return p.AllEmptiedRound()
 }
 
-// CheckInvariants verifies non-negative loads and the ball counter.
+// CheckInvariants verifies non-negative loads, the engine statistics and
+// the ball counter.
 func (p *Process) CheckInvariants() error {
-	var s int64
-	for i, l := range p.loads {
-		if l < 0 {
-			return fmt.Errorf("tetris: bin %d negative load %d", i, l)
-		}
-		s += int64(l)
+	if err := p.eng.CheckInvariants(); err != nil {
+		return fmt.Errorf("tetris: %w", err)
 	}
-	if s != p.balls {
+	if s := p.eng.Sum(); s != p.balls {
 		return fmt.Errorf("tetris: ball counter %d != actual %d", p.balls, s)
 	}
 	return nil

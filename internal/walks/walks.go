@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/bitset"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/rng"
 )
@@ -40,17 +41,16 @@ type Traversal struct {
 
 	queue [][]int32
 	head  []int32
-	loads []int32
+	eng   *engine.State
 
 	pos  []int32
 	hops []int64
 
-	moves []move
+	moves    []move
+	reassign []int32 // scratch load vector for ReassignAll
 
 	round     int64
-	maxLoad   int32
 	windowMax int32
-	empty     int
 
 	trackCover bool
 	visited    *bitset.Matrix
@@ -88,6 +88,10 @@ func New(g graph.Graph, loads []int32, src *rng.Source, opts Options) (*Traversa
 	if m > int64(1)<<31-1 {
 		return nil, fmt.Errorf("walks: %d tokens exceed capacity", m)
 	}
+	eng, err := engine.New(loads, engine.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("walks: %w", err)
+	}
 	t := &Traversal{
 		g:          g,
 		n:          n,
@@ -95,7 +99,7 @@ func New(g graph.Graph, loads []int32, src *rng.Source, opts Options) (*Traversa
 		src:        src,
 		queue:      make([][]int32, n),
 		head:       make([]int32, n),
-		loads:      make([]int32, n),
+		eng:        eng,
 		pos:        make([]int32, m),
 		hops:       make([]int64, m),
 		moves:      make([]move, 0, n),
@@ -105,7 +109,6 @@ func New(g graph.Graph, loads []int32, src *rng.Source, opts Options) (*Traversa
 	tok := int32(0)
 	for u := 0; u < n; u++ {
 		l := loads[u]
-		t.loads[u] = l
 		if l > 0 {
 			q := make([]int32, l)
 			for i := int32(0); i < l; i++ {
@@ -130,8 +133,7 @@ func New(g graph.Graph, loads []int32, src *rng.Source, opts Options) (*Traversa
 			t.coverRound = 0
 		}
 	}
-	t.refreshStats()
-	t.windowMax = t.maxLoad
+	t.windowMax = t.eng.MaxLoad()
 	return t, nil
 }
 
@@ -148,53 +150,37 @@ func NewOnePerNode(g graph.Graph, src *rng.Source, opts Options) (*Traversal, er
 	return New(g, loads, src, opts)
 }
 
-func (t *Traversal) refreshStats() {
-	var max int32
-	empty := 0
-	for _, l := range t.loads {
-		if l > max {
-			max = l
-		}
-		if l == 0 {
-			empty++
-		}
-	}
-	t.maxLoad = max
-	t.empty = empty
-}
-
 // Step advances one synchronous round: every non-empty node releases its
 // oldest token to a uniformly random neighbor; all moves land after all
-// extractions.
+// extractions. Node queue lengths and load statistics live in the shared
+// stepping layer, which visits non-empty nodes in increasing node order —
+// the same order (and therefore the same draw sequence) as a dense scan.
 func (t *Traversal) Step() {
 	n := t.n
 	moves := t.moves[:0]
-	for u := 0; u < n; u++ {
-		if t.loads[u] > 0 {
-			q := t.queue[u]
-			h := t.head[u]
-			token := q[h]
-			h++
-			if int(h) == len(q) {
-				t.queue[u] = q[:0]
-				h = 0
-			} else if h >= 64 && int(h)*2 >= len(q) {
-				nLive := copy(q, q[h:])
-				t.queue[u] = q[:nLive]
-				h = 0
-			}
-			t.head[u] = h
-			t.loads[u]--
-			dest := int32(t.g.Sample(u, t.src))
-			moves = append(moves, move{token: token, dest: dest})
+	t.eng.ReleaseEach(func(u int) {
+		q := t.queue[u]
+		h := t.head[u]
+		token := q[h]
+		h++
+		if int(h) == len(q) {
+			t.queue[u] = q[:0]
+			h = 0
+		} else if h >= 64 && int(h)*2 >= len(q) {
+			nLive := copy(q, q[h:])
+			t.queue[u] = q[:nLive]
+			h = 0
 		}
-	}
+		t.head[u] = h
+		dest := int32(t.g.Sample(u, t.src))
+		moves = append(moves, move{token: token, dest: dest})
+	})
 	now := t.round + 1
 	for _, mv := range moves {
 		k := mv.token
 		u := mv.dest
 		t.queue[u] = append(t.queue[u], k)
-		t.loads[u]++
+		t.eng.Deposit(int(u))
 		t.pos[k] = u
 		t.hops[k]++
 		if t.trackCover && !t.visited.TestAndSet(int(k), int(u)) {
@@ -207,11 +193,11 @@ func (t *Traversal) Step() {
 			}
 		}
 	}
+	t.eng.Commit()
 	t.moves = moves
 	t.round = now
-	t.refreshStats()
-	if t.maxLoad > t.windowMax {
-		t.windowMax = t.maxLoad
+	if m := t.eng.MaxLoad(); m > t.windowMax {
+		t.windowMax = m
 	}
 }
 
@@ -238,11 +224,17 @@ func (t *Traversal) ReassignAll(positions []int32) error {
 	for u := 0; u < t.n; u++ {
 		t.queue[u] = t.queue[u][:0]
 		t.head[u] = 0
-		t.loads[u] = 0
+	}
+	if t.reassign == nil {
+		t.reassign = make([]int32, t.n)
+	}
+	loads := t.reassign
+	for i := range loads {
+		loads[i] = 0
 	}
 	for k, p := range positions {
 		t.queue[p] = append(t.queue[p], int32(k))
-		t.loads[p]++
+		loads[p]++
 		t.pos[k] = p
 		if t.trackCover && !t.visited.TestAndSet(k, int(p)) {
 			t.visitCount[k]++
@@ -254,9 +246,11 @@ func (t *Traversal) ReassignAll(positions []int32) error {
 			}
 		}
 	}
-	t.refreshStats()
-	if t.maxLoad > t.windowMax {
-		t.windowMax = t.maxLoad
+	if err := t.eng.Reload(loads); err != nil {
+		return err
+	}
+	if m := t.eng.MaxLoad(); m > t.windowMax {
+		t.windowMax = m
 	}
 	return nil
 }
@@ -274,16 +268,25 @@ func (t *Traversal) Graph() graph.Graph { return t.g }
 func (t *Traversal) Round() int64 { return t.round }
 
 // MaxLoad returns the current maximum node congestion.
-func (t *Traversal) MaxLoad() int32 { return t.maxLoad }
+func (t *Traversal) MaxLoad() int32 { return t.eng.MaxLoad() }
 
 // WindowMaxLoad returns the running maximum congestion since construction.
 func (t *Traversal) WindowMaxLoad() int32 { return t.windowMax }
 
 // EmptyNodes returns the number of token-free nodes.
-func (t *Traversal) EmptyNodes() int { return t.empty }
+func (t *Traversal) EmptyNodes() int { return t.eng.EmptyBins() }
+
+// EmptyBins returns the number of token-free nodes (engine.Stepper naming).
+func (t *Traversal) EmptyBins() int { return t.eng.EmptyBins() }
+
+// NonEmptyBins returns the number of nodes currently holding tokens.
+func (t *Traversal) NonEmptyBins() int { return t.eng.NonEmptyBins() }
 
 // Load returns the queue length at node u.
-func (t *Traversal) Load(u int) int32 { return t.loads[u] }
+func (t *Traversal) Load(u int) int32 { return t.eng.Load(u) }
+
+// LoadsCopy returns a fresh copy of the per-node queue-length vector.
+func (t *Traversal) LoadsCopy() []int32 { return t.eng.LoadsCopy() }
 
 // Position returns the node currently holding token k.
 func (t *Traversal) Position(k int) int { return int(t.pos[k]) }
@@ -336,12 +339,15 @@ func (t *Traversal) RunUntilCovered(maxRounds int64) (int64, bool) {
 
 // CheckInvariants verifies queue/load/position consistency.
 func (t *Traversal) CheckInvariants() error {
+	if err := t.eng.CheckInvariants(); err != nil {
+		return fmt.Errorf("walks: %w", err)
+	}
 	seen := make([]bool, t.m)
 	var total int64
 	for u := 0; u < t.n; u++ {
 		live := t.queue[u][t.head[u]:]
-		if int32(len(live)) != t.loads[u] {
-			return fmt.Errorf("walks: node %d queue %d != load %d", u, len(live), t.loads[u])
+		if int32(len(live)) != t.eng.Load(u) {
+			return fmt.Errorf("walks: node %d queue %d != load %d", u, len(live), t.eng.Load(u))
 		}
 		total += int64(len(live))
 		for _, k := range live {
