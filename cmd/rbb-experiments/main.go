@@ -1,6 +1,7 @@
-// Command rbb-experiments regenerates the reproduction tables E01–E16 (one
-// per quantitative claim of the paper; see DESIGN.md §3 for the index).
-// EXPERIMENTS.md is produced by running it with -format markdown.
+// Command rbb-experiments regenerates the reproduction tables E01–E20 (one
+// per quantitative claim of the paper, plus the E20 production-scale sweep;
+// see DESIGN.md §3 for the index). EXPERIMENTS.md is produced by running it
+// with -format markdown.
 //
 // Examples:
 //

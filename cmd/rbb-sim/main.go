@@ -1,10 +1,17 @@
 // Command rbb-sim runs a single repeated balls-into-bins (or Tetris)
 // simulation and prints a per-round time series plus a final summary.
 //
+// The original and tetris processes run on the sharded multi-core engine
+// (internal/shard): -shards picks the partition count (default: one shard
+// per available CPU), which also selects the random law's decomposition —
+// a run is a pure function of (seed, n, shards). Use an explicit -shards
+// value for results that reproduce across machines.
+//
 // Examples:
 //
 //	rbb-sim -n 1024 -rounds 10000
 //	rbb-sim -n 4096 -init all-in-one -rounds 20000 -report-every 1000
+//	rbb-sim -n 16777216 -rounds 500 -shards 64 -quantiles 0.5,0.9,0.99
 //	rbb-sim -n 1024 -process tetris -rounds 5000
 //	rbb-sim -n 512 -process token -strategy lifo -rounds 2000
 //	rbb-sim -n 1024 -process choices -d 2 -rounds 5000
@@ -17,13 +24,15 @@ import (
 	"io"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/jackson"
 	"repro/internal/rng"
-	"repro/internal/tetris"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -64,6 +73,8 @@ func run(args []string, out io.Writer) error {
 		choices  = fs.Int("d", 2, "number of choices for -process choices")
 		seed     = fs.Uint64("seed", 1, "random seed")
 		every    = fs.Int64("report-every", 0, "print a row every K rounds (0 = auto, ~20 rows)")
+		shards   = fs.Int("shards", 0, "shard count for the data-parallel engine, original|tetris only (0 = GOMAXPROCS; the run is a pure function of seed, n and this value)")
+		quant    = fs.String("quantiles", "", "comma-separated probabilities in (0,1); streams P² sketches of the per-round max load and prints them in the summary (e.g. 0.5,0.9,0.99)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +84,22 @@ func run(args []string, out io.Writer) error {
 	}
 	if *rounds < 0 {
 		return fmt.Errorf("need rounds >= 0, got %d", *rounds)
+	}
+	if *shards < 0 {
+		return fmt.Errorf("need shards >= 0, got %d", *shards)
+	}
+	var probs []float64
+	if *quant != "" {
+		for _, f := range strings.Split(*quant, ",") {
+			p, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return fmt.Errorf("bad -quantiles entry %q: %v", f, err)
+			}
+			if p <= 0 || p >= 1 {
+				return fmt.Errorf("-quantiles entry %v outside (0, 1)", p)
+			}
+			probs = append(probs, p)
+		}
 	}
 	balls := *m
 	if balls == 0 {
@@ -84,16 +111,17 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	shOpts := shard.Options{Shards: *shards}
 	var s engine.Stepper
 	switch *process {
 	case "original":
-		p, err := core.NewProcess(loads, src)
+		p, err := shard.NewProcess(loads, *seed, shOpts)
 		if err != nil {
 			return err
 		}
 		s = p
 	case "tetris":
-		p, err := tetris.New(loads, src, tetris.Options{Lambda: *lambda})
+		p, err := shard.NewTetris(loads, *seed, shard.TetrisOptions{Options: shOpts, Lambda: *lambda})
 		if err != nil {
 			return err
 		}
@@ -132,9 +160,19 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	// The header names the shard count (part of the random law's key) but
+	// not the worker count, which varies by machine and must not break the
+	// byte-identical-stdout determinism check.
 	threshold := config.LegitimateThreshold(*n, config.Beta)
-	fmt.Fprintf(out, "# %s process, n=%d m=%d init=%s seed=%d (legitimate: max load <= %d)\n",
-		*process, *n, balls, *initName, *seed, threshold)
+	shardInfo := ""
+	switch p := s.(type) {
+	case *shard.Process:
+		shardInfo = fmt.Sprintf(" shards=%d", p.Engine().Shards())
+	case *shard.Tetris:
+		shardInfo = fmt.Sprintf(" shards=%d", p.Engine().Shards())
+	}
+	fmt.Fprintf(out, "# %s process, n=%d m=%d init=%s seed=%d%s (legitimate: max load <= %d)\n",
+		*process, *n, balls, *initName, *seed, shardInfo, threshold)
 	fmt.Fprintf(out, "%10s  %8s  %11s  %10s\n", "round", "max load", "empty frac", "legitimate")
 
 	report := func() {
@@ -147,17 +185,29 @@ func run(args []string, out io.Writer) error {
 	}
 	report()
 	var wm engine.WindowMax
-	engine.Run(s, *rounds, &wm, engine.ObserverFunc(func(st engine.Stepper) {
+	obs := []engine.Observer{&wm, engine.ObserverFunc(func(st engine.Stepper) {
 		if st.Round()%interval == 0 {
 			report()
 		}
-	}))
+	})}
+	var pipe *shard.Pipeline
+	if len(probs) > 0 {
+		pipe, err = shard.NewPipeline(probs)
+		if err != nil {
+			return err
+		}
+		obs = append(obs, pipe)
+	}
+	engine.Run(s, *rounds, obs...)
 	fmt.Fprintf(out, "\nwindow max load: %d (%.2f x ln n)\n", wm.Max(), float64(wm.Max())/math.Log(float64(*n)))
+	if pipe != nil {
+		fmt.Fprintf(out, "max-load quantiles over rounds: %s\n", pipe)
+	}
 	if tp, ok := s.(*core.TokenProcess); ok {
 		fmt.Fprintf(out, "min ball progress: %d hops; max per-visit delay: %d; mean delay: %.3f\n",
 			tp.MinHops(), tp.MaxDelay(), tp.MeanDelay())
 	}
-	if tet, ok := s.(*tetris.Process); ok {
+	if tet, ok := s.(*shard.Tetris); ok {
 		if r, done := tet.AllEmptiedRound(); done {
 			fmt.Fprintf(out, "all bins emptied at least once by round %d (5n = %d)\n", r, 5**n)
 		} else {

@@ -58,6 +58,39 @@ func TestRunJackson(t *testing.T) {
 	}
 }
 
+func TestRunShardsAndQuantiles(t *testing.T) {
+	var sb strings.Builder
+	args := []string{"-n", "256", "-rounds", "400", "-shards", "4", "-quantiles", "0.5,0.9", "-seed", "3"}
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"shards=4", "max-load quantiles over rounds:", "p50=", "p90="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// With an explicit shard count the run is a pure function of the
+	// flags: a second invocation must reproduce the output byte for byte.
+	var sb2 strings.Builder
+	if err := run(args, &sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Error("same flags, different output — shard determinism broken")
+	}
+}
+
+func TestRunTetrisSharded(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "128", "-rounds", "800", "-process", "tetris", "-init", "all-in-one", "-shards", "4"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "all bins emptied at least once by round") {
+		t.Errorf("sharded tetris summary missing:\n%s", sb.String())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	var sb strings.Builder
 	cases := [][]string{
@@ -68,6 +101,9 @@ func TestRunErrors(t *testing.T) {
 		{"-process", "token", "-strategy", "bogus"},
 		{"-process", "choices", "-d", "0"},
 		{"-init", "one-per-bin", "-m", "5", "-n", "8"},
+		{"-shards", "-2"},
+		{"-quantiles", "1.5"},
+		{"-quantiles", "abc"},
 	}
 	for _, args := range cases {
 		if err := run(args, &sb); err == nil {

@@ -195,6 +195,31 @@ func (s *State) Deposit(v int) {
 	s.arr[v]++
 }
 
+// DepositBatch stages one arriving ball at bin v−offset for every v in vs
+// — the bulk form of Deposit used by the sharded engine's commit phase,
+// where arrivals come pre-collected in per-shard message buffers. During a
+// dense round the touched list is skipped entirely (the dense Commit
+// drains arr wholesale and never reads it), which makes the batch path
+// cheaper than repeated Deposit calls; because of that skip, arrivals
+// staged through DepositBatch mid-round cannot be rolled back with
+// ResetDeposits.
+func (s *State) DepositBatch(vs []int32, offset int32) {
+	arr := s.arr
+	if s.inRound && !s.sparse {
+		for _, v := range vs {
+			arr[v-offset]++
+		}
+		return
+	}
+	for _, v := range vs {
+		u := v - offset
+		if arr[u] == 0 {
+			s.touched = append(s.touched, u)
+		}
+		arr[u]++
+	}
+}
+
 // ResetDeposits discards every staged arrival (the coupling's case (ii)
 // redraw needs this).
 func (s *State) ResetDeposits() {

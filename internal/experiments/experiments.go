@@ -1,8 +1,9 @@
-// Package experiments defines the reproduction suite E01–E19: one experiment
+// Package experiments defines the reproduction suite E01–E20: one experiment
 // per quantitative claim of the paper (the paper itself has no empirical
 // tables or figures, so the theorems, lemmas, corollary, the Appendix B
 // counterexample and the §5 conjectures are the evaluation artifacts — see
-// DESIGN.md §3 for the full index).
+// DESIGN.md §3 for the full index), plus the E20 production-scale sweep on
+// the sharded multi-core engine.
 //
 // Every experiment is deterministic given (Scale, Seed), produces a Table
 // that cmd/rbb-experiments renders (and EXPERIMENTS.md records), and carries
@@ -64,7 +65,7 @@ func (c Config) withDefaults() Config {
 
 // Result is one experiment's outcome.
 type Result struct {
-	// ID is the experiment identifier ("E01".."E19").
+	// ID is the experiment identifier ("E01".."E20").
 	ID string
 	// Title is a one-line description.
 	Title string
@@ -110,6 +111,7 @@ func Registry() []Entry {
 		{"E17", "§5 tightness: repeated max vs the one-shot log n/log log n law", E17Tightness},
 		{"E18", "extension [36]: power of d choices in the repeated setting", E18DChoices},
 		{"E19", "baseline (§1.3): closed Jackson network, exact product form vs simulation", E19Jackson},
+		{"E20", "scale: sharded multi-core engine, one run at n up to 1.3·10⁸ bins", E20HugeN},
 	}
 }
 

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/config"
+	"repro/internal/engine"
+	"repro/internal/rng"
+	"repro/internal/shard"
+	"repro/internal/table"
+)
+
+// e20Shards is the fixed shard count for the huge-n sweep. It is pinned
+// (not GOMAXPROCS) because the shard count selects the random law's
+// decomposition: with a fixed value the table reproduces bit-for-bit on
+// any machine, while the worker count — which does not affect the
+// trajectory — still scales with the hardware.
+const e20Shards = 64
+
+// E20HugeN runs the sharded multi-core engine at n far beyond what the
+// sequential layer can reach in one run — up to n = 2²⁷ ≈ 1.3·10⁸ bins at
+// the large scale — and checks that the window max load from a balanced
+// start stays on the Θ(log n) plateau (Theorem 1(a); the regime where the
+// tight constants of Los & Sauerwald 2022 become visible). Statistics come
+// from the streaming observer pipeline, so memory stays O(n) regardless of
+// the window length.
+func E20HugeN(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	type cell struct {
+		n      int
+		window int64
+	}
+	grid := pick(cfg.Scale,
+		[]cell{{1 << 12, 512}, {1 << 13, 256}, {1 << 14, 128}, {1 << 15, 64}},
+		[]cell{{1 << 16, 1024}, {1 << 18, 256}, {1 << 20, 128}},
+		[]cell{
+			{1 << 20, 1024}, {1 << 21, 512}, {1 << 22, 256}, {1 << 23, 128},
+			{1 << 24, 64}, {1 << 25, 64}, {1 << 26, 64}, {1 << 27, 64},
+		},
+	)
+	tbl := table.New("E20 sharded engine: max-load plateau at huge n",
+		"n", "shards", "window T", "max load M", "M/ln n", "p90 round max", "mean empty frac")
+	var ratios []float64
+	emptyOK := true
+	for i, c := range grid {
+		// A private master seed per row so rows never share shard streams.
+		seed := rng.NewStream(cfg.Seed, uint64(2000+i)).Uint64()
+		p, err := shard.NewProcess(config.OnePerBin(c.n), seed,
+			shard.Options{Shards: e20Shards, Workers: cfg.Parallelism})
+		if err != nil {
+			return nil, err
+		}
+		pipe, err := shard.NewPipeline([]float64{0.9})
+		if err != nil {
+			return nil, err
+		}
+		engine.Run(p, c.window, pipe)
+		m := float64(pipe.WindowMax())
+		ratio := m / lnF(c.n)
+		ratios = append(ratios, ratio)
+		_, p90 := pipe.Quantiles()
+		meanEmpty := pipe.EmptyMean()
+		if meanEmpty < 0.30 || meanEmpty > 0.50 {
+			emptyOK = false
+		}
+		tbl.AddRow(c.n, p.Engine().Shards(), c.window, pipe.WindowMax(),
+			ratio, p90[0], meanEmpty)
+	}
+	spread := ratioSpread(ratios)
+	ratioOK := true
+	for _, r := range ratios {
+		if r < 0.7 || r > 6 {
+			ratioOK = false
+		}
+	}
+	tbl.AddNote(fmt.Sprintf(
+		"M/ln n spread across a %d× range of n: %.2f (flat ⇒ Θ(log n) plateau); "+
+			"shards fixed at %d so the table is machine-independent",
+		grid[len(grid)-1].n/grid[0].n, spread, e20Shards))
+	return &Result{
+		ID:    "E20",
+		Title: "E20 sharded engine: single-run max load at n up to 1.3·10⁸",
+		Claim: "Theorem 1(a) at production scale: one sharded run per n, window max load M = Θ(log n) with the plateau flat in M/ln n",
+		Table: tbl,
+		Pass:  ratioOK && emptyOK && spread <= 2.2 && !math.IsNaN(spread) && spread > 0,
+	}, nil
+}

@@ -1,0 +1,68 @@
+package shard
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// The recorded comparison (BENCH_shard.json, CI bench-smoke): the sharded
+// engine against the sequential internal/engine path at n = 2²², on the
+// balanced (dense regime) and all-in-one (sparse regime) starts, with the
+// shard count held fixed at 8 while the worker count varies — so the W1 vs
+// WMax pair isolates pure parallel speedup on identical work.
+const (
+	benchN      = 1 << 22
+	benchShards = 8
+)
+
+func benchSharded(b *testing.B, loads []int32, workers int) {
+	p, err := NewProcess(loads, 1, Options{Shards: benchShards, Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(loads)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+}
+
+func benchSequential(b *testing.B, loads []int32) {
+	p, err := core.NewProcess(loads, rng.NewStream(1, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(loads)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+}
+
+func BenchmarkShardBalancedW1(b *testing.B) {
+	benchSharded(b, config.OnePerBin(benchN), 1)
+}
+
+func BenchmarkShardBalancedWMax(b *testing.B) {
+	benchSharded(b, config.OnePerBin(benchN), runtime.GOMAXPROCS(0))
+}
+
+func BenchmarkSeqBalanced(b *testing.B) {
+	benchSequential(b, config.OnePerBin(benchN))
+}
+
+func BenchmarkShardAllInOneW1(b *testing.B) {
+	benchSharded(b, config.AllInOne(benchN, benchN), 1)
+}
+
+func BenchmarkShardAllInOneWMax(b *testing.B) {
+	benchSharded(b, config.AllInOne(benchN, benchN), runtime.GOMAXPROCS(0))
+}
+
+func BenchmarkSeqAllInOne(b *testing.B) {
+	benchSequential(b, config.AllInOne(benchN, benchN))
+}

@@ -1,0 +1,98 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/stats"
+)
+
+// Pipeline is the streaming observer for huge single runs: it folds each
+// round's statistics into O(1)-memory accumulators — running window max
+// load, min/mean empty-bin fraction, and P² quantile sketches of the
+// per-round max load — so a 10⁸-bin run keeps a full summary without any
+// per-round history. It implements engine.Observer and works with any
+// engine.Stepper (sharded or sequential).
+type Pipeline struct {
+	window engine.WindowMax
+	empty  engine.EmptyFraction
+	probs  []float64
+	sketch []*stats.P2Quantile
+	rounds int64
+}
+
+// NewPipeline builds a pipeline tracking the given max-load quantile
+// probabilities (each in (0, 1), sorted copies are kept; the list may be
+// empty).
+func NewPipeline(quantiles []float64) (*Pipeline, error) {
+	probs := append([]float64(nil), quantiles...)
+	sort.Float64s(probs)
+	p := &Pipeline{probs: probs}
+	for _, q := range probs {
+		s, err := stats.NewP2Quantile(q)
+		if err != nil {
+			return nil, fmt.Errorf("shard: pipeline quantile: %w", err)
+		}
+		p.sketch = append(p.sketch, s)
+	}
+	return p, nil
+}
+
+// Observe implements engine.Observer.
+func (p *Pipeline) Observe(s engine.Stepper) {
+	p.window.Observe(s)
+	p.empty.Observe(s)
+	m := float64(s.MaxLoad())
+	for _, sk := range p.sketch {
+		sk.Add(m)
+	}
+	p.rounds++
+}
+
+// Rounds returns the number of observed rounds.
+func (p *Pipeline) Rounds() int64 { return p.rounds }
+
+// WindowMax returns the maximum observed load (0 before any observation).
+func (p *Pipeline) WindowMax() int32 { return p.window.Max() }
+
+// EmptyMin returns the minimum observed empty-bin fraction.
+func (p *Pipeline) EmptyMin() float64 { return p.empty.Min() }
+
+// EmptyMean returns the mean observed empty-bin fraction.
+func (p *Pipeline) EmptyMean() float64 { return p.empty.Mean() }
+
+// Quantiles returns the tracked probabilities (sorted) and the current
+// estimates of the per-round max-load quantiles, in matching order.
+func (p *Pipeline) Quantiles() (probs, estimates []float64) {
+	probs = append([]float64(nil), p.probs...)
+	for _, sk := range p.sketch {
+		estimates = append(estimates, sk.Quantile())
+	}
+	return probs, estimates
+}
+
+// String renders a one-line summary ("p50=7 p90=9 p99=11 ..."), empty if
+// no quantiles are tracked.
+func (p *Pipeline) String() string {
+	var b strings.Builder
+	for i, sk := range p.sketch {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "p%s=%.4g", trimProb(p.probs[i]), sk.Quantile())
+	}
+	return b.String()
+}
+
+// trimProb renders 0.5 → "50", 0.99 → "99", 0.999 → "99.9". The product
+// is rounded to 0.1 so binary floating point cannot leak into the label
+// (0.07 must render "7", not "7.000000000000001").
+func trimProb(p float64) string {
+	return strings.TrimSuffix(strconv.FormatFloat(math.Round(p*1000)/10, 'f', -1, 64), ".0")
+}
+
+var _ engine.Observer = (*Pipeline)(nil)

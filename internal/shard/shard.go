@@ -1,0 +1,383 @@
+// Package shard is the data-parallel single-run engine: it executes one
+// synchronous balls-into-bins round across multiple cores by partitioning
+// the bins into contiguous shards, so a single run scales to n = 10⁷–10⁸
+// bins — the regime where the paper's Θ(log n) max-load plateau (and the
+// tight constants of Los & Sauerwald 2022) become visually unambiguous.
+//
+// # Partitioning
+//
+// The n bins are split into S contiguous shards of near-equal size (the
+// first n mod S shards hold one extra bin). Shard s owns its slice of the
+// load vector wrapped in its own engine.State — bitset worklist, local
+// MaxLoad/EmptyBins and the hybrid sparse/dense round execution all come
+// from the sequential stepping layer — plus an independent deterministic
+// RNG stream rng.NewStream(seed, s).
+//
+// # Round protocol
+//
+// A round runs in two parallel phases separated by barriers:
+//
+//	release  — every shard removes one ball from each of its non-empty
+//	           bins, decides its arrival count, draws that many uniform
+//	           destinations in [0, n) from its own stream, and stages them
+//	           in per-(src,dst) message buffers.
+//	commit   — every shard drains the buffers addressed to it (in source
+//	           shard order), merges the arrivals into its local State, and
+//	           refreshes its local statistics.
+//
+// After the commit barrier the coordinator folds the per-shard statistics
+// into the global MaxLoad/EmptyBins in O(S). No shard ever touches another
+// shard's state; the buffers are written only by their source shard during
+// release and drained only by their destination shard during commit, with
+// the phase barrier ordering the two.
+//
+// # Determinism contract
+//
+// A run is a pure function of (seed, n, S): shard s performs its arrival-
+// count draws and then exactly one destination draw per staged ball, in
+// local bin order, from its private stream, so neither the number of
+// worker goroutines nor their scheduling can affect the trajectory
+// (Workers only changes wall-clock; the P-invariance test pins this).
+//
+// The layer is law-equivalent — NOT trajectory-equivalent — to
+// internal/engine: with S shards the destination draws come from S
+// independent streams instead of one, so for the same seed the sampled
+// path differs from core.Process while the sampled distribution is
+// identical (i.i.d. uniform destinations, one per released ball). With
+// S = 1 the draw sequence collapses to exactly the sequential one, and the
+// equivalence becomes trajectory-exact against a process driven by
+// rng.NewStream(seed, 0); the test suite pins both facts.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/rng"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Shards is the number of contiguous bin partitions S (clamped to n).
+	// It selects the random law's decomposition: results are a pure
+	// function of (seed, n, Shards). 0 means runtime.GOMAXPROCS(0); pass
+	// an explicit value for results that reproduce across machines.
+	Shards int
+	// Workers is the number of goroutines executing shard phases (clamped
+	// to Shards). 0 means min(GOMAXPROCS, Shards). The trajectory is
+	// independent of Workers.
+	Workers int
+	// OnEmptied, if non-nil, is invoked during the commit phase for every
+	// bin (global index) that was non-empty at the start of the round and
+	// is empty after arrivals merge. Calls for bins of one shard arrive in
+	// increasing bin order from that shard's worker goroutine; calls for
+	// bins of different shards may be concurrent, so the callback must
+	// only touch per-bin (or otherwise shard-disjoint) state.
+	OnEmptied func(u int)
+}
+
+// Arrivals decides how many uniformly-placed balls shard s contributes in
+// the round that just released `released` balls from s's bins. It runs in
+// the release phase on s's worker goroutine and may draw from src (the
+// shard's private stream); those draws precede the destination draws in
+// the shard's sequence. It must not retain src.
+type Arrivals func(s, released int, src *rng.Source) int
+
+// Engine is the sharded round executor. Create with NewEngine; drive it
+// with Step. Not safe for concurrent use (each Step internally fans out to
+// Workers goroutines and joins them before returning).
+type Engine struct {
+	n       int
+	shards  []shardPart
+	workers int
+	// shift routes a destination to its shard with v >> shift when every
+	// shard has the same power-of-two size (the common n = 2^k case);
+	// −1 selects the general divide-based router.
+	shift int
+
+	round   int64
+	maxLoad int32
+	empty   int
+
+	released []int // per-shard release counts of the in-flight round
+	staged   []int // per-shard arrival counts of the in-flight round
+}
+
+// shardPart is one contiguous partition: a sequential engine.State over the
+// local bins, a private RNG stream, and the outgoing message buffers.
+type shardPart struct {
+	base  int // global index of the first owned bin
+	size  int
+	state *engine.State
+	src   *rng.Source
+	// out[d] holds the global destination bins of balls this shard sends
+	// to shard d in the current round. Written by this shard during
+	// release, drained (and reset) by shard d during commit; the phase
+	// barrier orders the two.
+	out [][]int32
+}
+
+// NewEngine partitions loads into shards and returns the engine. The
+// initial configuration is copied. It returns an error if loads is empty
+// or contains a negative entry.
+func NewEngine(loads []int32, seed uint64, opts Options) (*Engine, error) {
+	n := len(loads)
+	if n < 1 {
+		return nil, errors.New("shard: NewEngine with no bins")
+	}
+	s := opts.Shards
+	if s <= 0 {
+		s = runtime.GOMAXPROCS(0)
+	}
+	if s > n {
+		s = n
+	}
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > s {
+		w = s
+	}
+	e := &Engine{
+		n:        n,
+		shards:   make([]shardPart, s),
+		workers:  w,
+		released: make([]int, s),
+		staged:   make([]int, s),
+	}
+	q, r := n/s, n%s
+	base := 0
+	for i := range e.shards {
+		size := q
+		if i < r {
+			size++
+		}
+		var eopts engine.Options
+		if opts.OnEmptied != nil {
+			cb, off := opts.OnEmptied, base
+			eopts.OnEmptied = func(u int) { cb(off + u) }
+		}
+		st, err := engine.New(loads[base:base+size], eopts)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		e.shards[i] = shardPart{
+			base:  base,
+			size:  size,
+			state: st,
+			src:   rng.NewStream(seed, uint64(i)),
+			out:   make([][]int32, s),
+		}
+		base += size
+	}
+	e.shift = -1
+	if r == 0 && q&(q-1) == 0 {
+		e.shift = bits.TrailingZeros(uint(q))
+	}
+	e.refreshStats()
+	return e, nil
+}
+
+// shardOf returns the shard owning global bin v. The first n mod S shards
+// hold q+1 bins, the rest q; with a uniform power-of-two partition the
+// lookup is a single shift (the hot path of destination routing).
+func (e *Engine) shardOf(v int) int {
+	if e.shift >= 0 {
+		return v >> e.shift
+	}
+	s := len(e.shards)
+	q, r := e.n/s, e.n%s
+	big := r * (q + 1)
+	if v < big {
+		return v / (q + 1)
+	}
+	return r + (v-big)/q
+}
+
+// refreshStats folds the per-shard statistics into the global ones.
+func (e *Engine) refreshStats() {
+	var max int32
+	empty := 0
+	for i := range e.shards {
+		st := e.shards[i].state
+		if m := st.MaxLoad(); m > max {
+			max = m
+		}
+		empty += st.EmptyBins()
+	}
+	e.maxLoad = max
+	e.empty = empty
+}
+
+// parallel runs f once per shard, distributed round-robin over the
+// workers, and returns after every call completes (the phase barrier).
+func (e *Engine) parallel(f func(i int, sh *shardPart)) {
+	if e.workers == 1 {
+		for i := range e.shards {
+			f(i, &e.shards[i])
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(e.shards); i += e.workers {
+				f(i, &e.shards[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Step advances one synchronous round: release in parallel (departures,
+// arrival-count decision, destination draws into the message buffers),
+// barrier, commit in parallel (drain buffers, merge, local stats),
+// barrier, then fold the global statistics. arrivals must not be nil.
+func (e *Engine) Step(arrivals Arrivals) {
+	n := e.n
+	// Phase 1 — release and stage.
+	e.parallel(func(i int, sh *shardPart) {
+		released := sh.state.ReleaseEach(nil)
+		k := arrivals(i, released, sh.src)
+		src, out, bound := sh.src, sh.out, uint64(n)
+		if shift := e.shift; shift >= 0 {
+			for j := 0; j < k; j++ {
+				v := src.Uint64n(bound)
+				d := v >> uint(shift)
+				out[d] = append(out[d], int32(v))
+			}
+		} else {
+			for j := 0; j < k; j++ {
+				v := int(src.Uint64n(bound))
+				d := e.shardOf(v)
+				out[d] = append(out[d], int32(v))
+			}
+		}
+		e.released[i] = released
+		e.staged[i] = k
+	})
+	// Phase 2 — exchange and commit. Shard i drains out[s][i] for every
+	// source s in increasing s order (arrival order does not affect the
+	// merged loads; a fixed order keeps any OnEmptied side effects and the
+	// buffer resets deterministic).
+	e.parallel(func(i int, sh *shardPart) {
+		base := int32(sh.base)
+		for s := range e.shards {
+			buf := e.shards[s].out[i]
+			sh.state.DepositBatch(buf, base)
+			e.shards[s].out[i] = buf[:0]
+		}
+		sh.state.Commit()
+	})
+	e.refreshStats()
+	e.round++
+}
+
+// N returns the number of bins.
+func (e *Engine) N() int { return e.n }
+
+// Shards returns the number of shards S.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Workers returns the number of goroutines used per phase.
+func (e *Engine) Workers() int { return e.workers }
+
+// Round returns the number of completed rounds.
+func (e *Engine) Round() int64 { return e.round }
+
+// MaxLoad returns the current global maximum bin load.
+func (e *Engine) MaxLoad() int32 { return e.maxLoad }
+
+// EmptyBins returns the current global number of empty bins.
+func (e *Engine) EmptyBins() int { return e.empty }
+
+// NonEmptyBins returns |W(t)|, the current number of non-empty bins.
+func (e *Engine) NonEmptyBins() int { return e.n - e.empty }
+
+// Released returns the number of balls released in the last round (0
+// before the first round).
+func (e *Engine) Released() int {
+	t := 0
+	for _, r := range e.released {
+		t += r
+	}
+	return t
+}
+
+// Staged returns the number of balls thrown in the last round (0 before
+// the first round).
+func (e *Engine) Staged() int {
+	t := 0
+	for _, k := range e.staged {
+		t += k
+	}
+	return t
+}
+
+// Load returns the load of global bin u.
+func (e *Engine) Load(u int) int32 {
+	sh := &e.shards[e.shardOf(u)]
+	return sh.state.Load(u - sh.base)
+}
+
+// LoadsCopy returns a fresh copy of the full load vector.
+func (e *Engine) LoadsCopy() []int32 {
+	out := make([]int32, 0, e.n)
+	for i := range e.shards {
+		out = append(out, e.shards[i].state.Loads()...)
+	}
+	return out
+}
+
+// Sum returns the total number of balls currently in the system.
+func (e *Engine) Sum() int64 {
+	var t int64
+	for i := range e.shards {
+		t += e.shards[i].state.Sum()
+	}
+	return t
+}
+
+// CheckInvariants verifies every shard's internal invariants, the
+// partition bookkeeping and the aggregated statistics.
+func (e *Engine) CheckInvariants() error {
+	base := 0
+	var max int32
+	empty := 0
+	for i := range e.shards {
+		sh := &e.shards[i]
+		if sh.base != base {
+			return fmt.Errorf("shard: shard %d base %d, want %d", i, sh.base, base)
+		}
+		if err := sh.state.CheckInvariants(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		for d, buf := range sh.out {
+			if len(buf) != 0 {
+				return fmt.Errorf("shard: leftover %d staged balls %d→%d", len(buf), i, d)
+			}
+		}
+		if m := sh.state.MaxLoad(); m > max {
+			max = m
+		}
+		empty += sh.state.EmptyBins()
+		base += sh.size
+	}
+	if base != e.n {
+		return fmt.Errorf("shard: partition covers %d bins, want %d", base, e.n)
+	}
+	if max != e.maxLoad {
+		return fmt.Errorf("shard: aggregate max load %d, shards say %d", e.maxLoad, max)
+	}
+	if empty != e.empty {
+		return fmt.Errorf("shard: aggregate empty count %d, shards say %d", e.empty, empty)
+	}
+	return nil
+}

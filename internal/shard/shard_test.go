@@ -1,0 +1,345 @@
+package shard
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/tetris"
+)
+
+func TestEngineValidation(t *testing.T) {
+	if _, err := NewEngine(nil, 1, Options{}); err == nil {
+		t.Error("no bins accepted")
+	}
+	if _, err := NewEngine([]int32{-1}, 1, Options{}); err == nil {
+		t.Error("negative load accepted")
+	}
+	if _, err := NewProcess([]int32{1}, 1, Options{OnEmptied: func(int) {}}); err == nil {
+		t.Error("NewProcess accepted OnEmptied")
+	}
+	if _, err := NewTetris([]int32{1}, 1, TetrisOptions{Lambda: 1.5}); err == nil {
+		t.Error("lambda > 1 accepted")
+	}
+	if _, err := NewTetris([]int32{1}, 1, TetrisOptions{Law: tetris.ArrivalLaw(99)}); err == nil {
+		t.Error("bogus arrival law accepted")
+	}
+}
+
+func TestPartition(t *testing.T) {
+	for _, tc := range []struct{ n, s int }{
+		{1, 1}, {7, 3}, {64, 8}, {100, 7}, {5, 8}, // s > n clamps to n
+	} {
+		e, err := NewEngine(make([]int32, tc.n), 1, Options{Shards: tc.s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantS := tc.s
+		if wantS > tc.n {
+			wantS = tc.n
+		}
+		if e.Shards() != wantS {
+			t.Fatalf("n=%d s=%d: got %d shards", tc.n, tc.s, e.Shards())
+		}
+		// Every bin maps to the shard whose range contains it, and sizes
+		// differ by at most one.
+		for v := 0; v < tc.n; v++ {
+			i := e.shardOf(v)
+			sh := &e.shards[i]
+			if v < sh.base || v >= sh.base+sh.size {
+				t.Fatalf("n=%d s=%d: bin %d mapped to shard %d [%d,%d)",
+					tc.n, tc.s, v, i, sh.base, sh.base+sh.size)
+			}
+		}
+		min, max := tc.n, 0
+		for i := range e.shards {
+			if sz := e.shards[i].size; sz < min {
+				min = sz
+			} else if sz > max {
+				max = sz
+			}
+		}
+		if max > 0 && max-min > 1 {
+			t.Fatalf("n=%d s=%d: shard sizes range [%d,%d]", tc.n, tc.s, min, max)
+		}
+	}
+}
+
+// TestWorkerInvariance is the P-invariance contract: with the shard count
+// held fixed, the aggregate trajectory is byte-identical whether the
+// phases run on one goroutine or eight.
+func TestWorkerInvariance(t *testing.T) {
+	const (
+		n      = 1 << 12
+		seed   = 42
+		shards = 8
+		rounds = 300
+	)
+	loads := config.AllInOne(n, n)
+	a, err := NewProcess(loads, seed, Options{Shards: shards, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewProcess(loads, seed, Options{Shards: shards, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Engine().Workers() != 1 || b.Engine().Workers() != 8 {
+		t.Fatalf("workers = %d, %d; want 1, 8", a.Engine().Workers(), b.Engine().Workers())
+	}
+	for r := 0; r < rounds; r++ {
+		a.Step()
+		b.Step()
+		if a.MaxLoad() != b.MaxLoad() || a.EmptyBins() != b.EmptyBins() {
+			t.Fatalf("round %d: stats diverge: max %d vs %d, empty %d vs %d",
+				r, a.MaxLoad(), b.MaxLoad(), a.EmptyBins(), b.EmptyBins())
+		}
+	}
+	la, lb := a.LoadsCopy(), b.LoadsCopy()
+	for u := range la {
+		if la[u] != lb[u] {
+			t.Fatalf("bin %d: load %d (P=1) vs %d (P=8)", u, la[u], lb[u])
+		}
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSingleShardMatchesSequential pins the S = 1 anchor of the
+// determinism contract: with one shard the draw sequence collapses to the
+// sequential one, so the trajectory equals core.Process driven by
+// rng.NewStream(seed, 0) exactly.
+func TestSingleShardMatchesSequential(t *testing.T) {
+	const (
+		n    = 257 // deliberately not a power of two
+		seed = 7
+	)
+	for name, loads := range map[string][]int32{
+		"one-per-bin": config.OnePerBin(n),
+		"all-in-one":  config.AllInOne(n, n),
+	} {
+		p, err := NewProcess(loads, seed, Options{Shards: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := core.NewProcess(loads, rng.NewStream(seed, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 400; r++ {
+			p.Step()
+			ref.Step()
+		}
+		got, want := p.LoadsCopy(), ref.LoadsCopy()
+		for u := range got {
+			if got[u] != want[u] {
+				t.Fatalf("%s: bin %d: %d vs sequential %d", name, u, got[u], want[u])
+			}
+		}
+		if p.MaxLoad() != ref.MaxLoad() || p.EmptyBins() != ref.EmptyBins() {
+			t.Fatalf("%s: stats diverge", name)
+		}
+	}
+}
+
+// TestTetrisSingleShardMatchesSequential pins the same anchor for the
+// batched process under all three arrival laws.
+func TestTetrisSingleShardMatchesSequential(t *testing.T) {
+	const (
+		n    = 130
+		seed = 11
+	)
+	for _, law := range []tetris.ArrivalLaw{tetris.Deterministic, tetris.BinomialArrivals, tetris.PoissonArrivals} {
+		p, err := NewTetris(config.AllInOne(n, n), seed,
+			TetrisOptions{Options: Options{Shards: 1}, Law: law, Lambda: 0.7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := tetris.New(config.AllInOne(n, n), rng.NewStream(seed, 0),
+			tetris.Options{Law: law, Lambda: 0.7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 400; r++ {
+			p.Step()
+			ref.Step()
+		}
+		got, want := p.LoadsCopy(), ref.LoadsCopy()
+		for u := range got {
+			if got[u] != want[u] {
+				t.Fatalf("law %v: bin %d: %d vs sequential %d", law, u, got[u], want[u])
+			}
+		}
+		if p.Balls() != ref.Balls() {
+			t.Fatalf("law %v: balls %d vs %d", law, p.Balls(), ref.Balls())
+		}
+		// The first-emptying tracker must agree with the sequential one.
+		for u := 0; u < n; u++ {
+			if p.FirstEmptyRound(u) != ref.FirstEmptyRound(u) {
+				t.Fatalf("law %v: bin %d first-empty %d vs %d",
+					law, u, p.FirstEmptyRound(u), ref.FirstEmptyRound(u))
+			}
+		}
+	}
+}
+
+// TestLawCrossCheck is the distributional equivalence check at small n:
+// with several shards the trajectory differs from the sequential engine,
+// but the sampled law must agree. Compare mean window-max load and mean
+// empty fraction across independent trials.
+func TestLawCrossCheck(t *testing.T) {
+	const (
+		n      = 256
+		rounds = 400
+		trials = 100
+	)
+	var seqMax, shMax, seqEmpty, shEmpty stats.Stream
+	for trial := 0; trial < trials; trial++ {
+		ref, err := core.NewProcess(config.OnePerBin(n), rng.NewStream(1000+uint64(trial), 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var refWM int32
+		for r := 0; r < rounds; r++ {
+			ref.Step()
+			if m := ref.MaxLoad(); m > refWM {
+				refWM = m
+			}
+		}
+		seqMax.Add(float64(refWM))
+		seqEmpty.Add(float64(ref.EmptyBins()) / n)
+
+		p, err := NewProcess(config.OnePerBin(n), 2000+uint64(trial), Options{Shards: 4, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pWM int32
+		for r := 0; r < rounds; r++ {
+			p.Step()
+			if m := p.MaxLoad(); m > pWM {
+				pWM = m
+			}
+		}
+		shMax.Add(float64(pWM))
+		shEmpty.Add(float64(p.EmptyBins()) / n)
+	}
+	if d := seqMax.Mean() - shMax.Mean(); d > 0.75 || d < -0.75 {
+		t.Errorf("window-max means diverge: sequential %.3f vs sharded %.3f", seqMax.Mean(), shMax.Mean())
+	}
+	if d := seqEmpty.Mean() - shEmpty.Mean(); d > 0.02 || d < -0.02 {
+		t.Errorf("empty-fraction means diverge: sequential %.4f vs sharded %.4f", seqEmpty.Mean(), shEmpty.Mean())
+	}
+}
+
+func TestConservationAndInvariants(t *testing.T) {
+	for _, shards := range []int{2, 3, 5, 16} {
+		loads := config.UniformRandom(200, 350, rng.New(uint64(shards)))
+		p, err := NewProcess(loads, uint64(90+shards), Options{Shards: shards, Workers: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 150; r++ {
+			p.Step()
+		}
+		if err := p.CheckInvariants(); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if p.Balls() != 350 {
+			t.Fatalf("shards=%d: balls %d", shards, p.Balls())
+		}
+		if p.Round() != 150 {
+			t.Fatalf("shards=%d: round %d", shards, p.Round())
+		}
+	}
+}
+
+func TestTetrisEmptying(t *testing.T) {
+	const n = 256
+	p, err := NewTetris(config.AllInOne(n, n), 5, TetrisOptions{Options: Options{Shards: 4, Workers: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, done := p.AllEmptiedRound(); done {
+		t.Fatal("all-in-one start reported all-emptied before running (bin 0 is full)")
+	}
+	maxRounds := int64(20 * n)
+	for i := int64(0); i < maxRounds; i++ {
+		if _, done := p.AllEmptiedRound(); done {
+			break
+		}
+		p.Step()
+	}
+	r, done := p.AllEmptiedRound()
+	if !done {
+		t.Fatalf("not all bins emptied within %d rounds", maxRounds)
+	}
+	if r < 1 || r > maxRounds {
+		t.Fatalf("all-emptied round %d out of range", r)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipeline(t *testing.T) {
+	pl, err := NewPipeline([]float64{0.5, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProcess(config.OnePerBin(512), 3, Options{Shards: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 600
+	var exact []int32
+	for r := 0; r < rounds; r++ {
+		p.Step()
+		pl.Observe(p)
+		exact = append(exact, p.MaxLoad())
+	}
+	if pl.Rounds() != rounds {
+		t.Fatalf("rounds %d, want %d", pl.Rounds(), rounds)
+	}
+	var wm int32
+	for _, m := range exact {
+		if m > wm {
+			wm = m
+		}
+	}
+	if pl.WindowMax() != wm {
+		t.Fatalf("window max %d, want %d", pl.WindowMax(), wm)
+	}
+	if min, mean := pl.EmptyMin(), pl.EmptyMean(); min <= 0 || min > mean || mean >= 1 {
+		t.Fatalf("empty fraction summary implausible: min %v mean %v", min, mean)
+	}
+	probs, est := pl.Quantiles()
+	if len(probs) != 2 || len(est) != 2 {
+		t.Fatalf("quantiles: %v %v", probs, est)
+	}
+	// The sketch of an int-valued stream must land within one of the exact
+	// quantile, and the estimates must be ordered.
+	if est[0] > est[1] {
+		t.Fatalf("p50 %v > p90 %v", est[0], est[1])
+	}
+	fs := make([]float64, len(exact))
+	for i, m := range exact {
+		fs[i] = float64(m)
+	}
+	sort.Float64s(fs)
+	for i, q := range probs {
+		want := stats.Quantile(fs, q)
+		if d := est[i] - want; d > 1.5 || d < -1.5 {
+			t.Errorf("p%v estimate %v, exact %v", q, est[i], want)
+		}
+	}
+	if s := pl.String(); s == "" {
+		t.Error("String() empty with tracked quantiles")
+	}
+}

@@ -39,6 +39,14 @@ type Spec struct {
 	Metrics []string
 	// Parallelism caps the worker count; 0 means GOMAXPROCS.
 	Parallelism int
+	// Progress, if non-nil, receives a liveness update after each trial
+	// finishes (huge sweeps take minutes per trial; this is how they
+	// report that they are alive). done counts completed trials — it
+	// increments by one per call, reaching total on the last — and calls
+	// are serialized, though they may originate from any worker goroutine
+	// and trials complete in no particular order. The callback must not
+	// call back into the running batch.
+	Progress func(done, total int)
 }
 
 // Run executes the spec. All trials run even if some fail; the first error
@@ -68,7 +76,20 @@ func Run(spec Spec, fn Trial) ([]Result, error) {
 	}
 	errs := make([]error, spec.Trials)
 
-	var wg sync.WaitGroup
+	var (
+		wg         sync.WaitGroup
+		progressMu sync.Mutex
+		completed  int
+	)
+	report := func() {
+		if spec.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		completed++
+		spec.Progress(completed, spec.Trials)
+		progressMu.Unlock()
+	}
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -79,15 +100,18 @@ func Run(spec Spec, fn Trial) ([]Result, error) {
 				row, err := fn(t, src)
 				if err != nil {
 					errs[t] = err
+					report()
 					continue
 				}
 				if len(row) != nm {
 					errs[t] = fmt.Errorf("sim: trial %d returned %d metrics, want %d", t, len(row), nm)
+					report()
 					continue
 				}
 				for i, v := range row {
 					values[i][t] = v
 				}
+				report()
 			}
 		}()
 	}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"sync"
 	"testing"
 
 	"repro/internal/rng"
@@ -65,6 +66,66 @@ func TestRunStreamsDiffer(t *testing.T) {
 			t.Fatal("two trials produced the same first draw; streams not independent")
 		}
 		seen[v] = true
+	}
+}
+
+func TestProgressReportsEveryTrial(t *testing.T) {
+	const trials = 23
+	var (
+		mu    sync.Mutex
+		dones []int
+	)
+	_, err := Run(Spec{
+		Trials:      trials,
+		Seed:        9,
+		Metrics:     []string{"x"},
+		Parallelism: 4,
+		Progress: func(done, total int) {
+			if total != trials {
+				t.Errorf("total = %d, want %d", total, trials)
+			}
+			mu.Lock()
+			dones = append(dones, done)
+			mu.Unlock()
+		},
+	}, func(trial int, src *rng.Source) ([]float64, error) {
+		return []float64{float64(trial)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dones) != trials {
+		t.Fatalf("progress called %d times, want %d", len(dones), trials)
+	}
+	// The callback is serialized around the shared counter, so the done
+	// values must be exactly 1..trials in order of invocation.
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("dones[%d] = %d, want %d (got %v)", i, d, i+1, dones)
+		}
+	}
+}
+
+func TestProgressReportsFailedTrials(t *testing.T) {
+	calls := 0
+	_, err := Run(Spec{
+		Trials:      5,
+		Seed:        1,
+		Metrics:     []string{"x"},
+		Parallelism: 1,
+		Progress:    func(done, total int) { calls++ },
+	}, func(trial int, src *rng.Source) ([]float64, error) {
+		if trial == 2 {
+			return nil, errors.New("boom")
+		}
+		return []float64{1}, nil
+	})
+	if err == nil {
+		t.Fatal("error not propagated")
+	}
+	// All trials run even when some fail; each must still report.
+	if calls != 5 {
+		t.Fatalf("progress called %d times, want 5", calls)
 	}
 }
 

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestNewP2QuantileValidation(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.2, 1.5, math.NaN()} {
+		if _, err := NewP2Quantile(p); err == nil {
+			t.Errorf("p = %v accepted", p)
+		}
+	}
+}
+
+func TestP2ExactBelowFive(t *testing.T) {
+	e, err := NewP2Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Quantile() != 0 || e.Min() != 0 || e.Max() != 0 {
+		t.Error("empty sketch not zero")
+	}
+	for _, x := range []float64{5, 1, 9} {
+		e.Add(x)
+	}
+	if got := e.Quantile(); got != 5 {
+		t.Errorf("median of {5,1,9} = %v, want 5", got)
+	}
+	if e.Min() != 1 || e.Max() != 9 {
+		t.Errorf("min/max = %v/%v, want 1/9", e.Min(), e.Max())
+	}
+	if e.N() != 3 {
+		t.Errorf("N = %d", e.N())
+	}
+}
+
+func TestP2AgainstExactQuantiles(t *testing.T) {
+	src := rng.New(99)
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.99} {
+		e, err := NewP2Quantile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 20000
+		xs := make([]float64, n)
+		for i := range xs {
+			x := src.Float64()
+			xs[i] = x
+			e.Add(x)
+		}
+		sort.Float64s(xs)
+		exact := Quantile(xs, p)
+		if d := e.Quantile() - exact; math.Abs(d) > 0.01 {
+			t.Errorf("p=%v: sketch %v, exact %v", p, e.Quantile(), exact)
+		}
+		if e.Min() != xs[0] || e.Max() != xs[n-1] {
+			t.Errorf("p=%v: min/max markers drifted", p)
+		}
+		if e.N() != n {
+			t.Errorf("p=%v: N = %d", p, e.N())
+		}
+	}
+}
+
+func TestP2MonotoneStream(t *testing.T) {
+	// A sorted integer-valued stream (the shape the max-load observer
+	// feeds it in practice): the estimate must land near the target rank.
+	e, err := NewP2Quantile(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	for i := 0; i < n; i++ {
+		e.Add(float64(i))
+	}
+	if got := e.Quantile(); math.Abs(got-0.9*n) > 0.05*n {
+		t.Errorf("p90 of 0..999 = %v", got)
+	}
+}
+
+func TestP2ConstantStream(t *testing.T) {
+	e, err := NewP2Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		e.Add(7)
+	}
+	if e.Quantile() != 7 || e.Min() != 7 || e.Max() != 7 {
+		t.Errorf("constant stream: q=%v min=%v max=%v", e.Quantile(), e.Min(), e.Max())
+	}
+}

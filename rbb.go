@@ -8,6 +8,9 @@
 //     FIFO/LIFO/Random queueing strategies;
 //   - the Tetris analysis process of §3.3 (Tetris), including the
 //     batched-arrival "leaky bins" variant of Berenbrink et al. [18];
+//   - a sharded multi-core engine (ShardedProcess, ShardedTetris) that
+//     executes one run data-parallel across CPU cores, scaling a single
+//     run to n = 10⁷–10⁸ bins;
 //   - the Lemma 3 coupling (Coupled) establishing pathwise domination;
 //   - the Lemma 5 one-dimensional drift chain (DriftChain) with exact tail
 //     computation;
@@ -46,6 +49,7 @@ import (
 	"repro/internal/markov"
 	"repro/internal/mixing"
 	"repro/internal/rng"
+	"repro/internal/shard"
 	"repro/internal/tetris"
 	"repro/internal/walks"
 )
@@ -125,6 +129,39 @@ const (
 // NewTetris builds a Tetris process over a copy of the configuration.
 func NewTetris(loads []int32, src *Source, opts TetrisOptions) (*Tetris, error) {
 	return tetris.New(loads, src, opts)
+}
+
+// ShardOptions configures the data-parallel sharded engine
+// (internal/shard): Shards selects the partition — and with it the random
+// law's decomposition, so a run is a pure function of (seed, n, Shards) —
+// while Workers only selects parallelism and never affects the trajectory.
+type ShardOptions = shard.Options
+
+// ShardedProcess is the data-parallel repeated balls-into-bins engine: the
+// same law as Process, executed across shards so a single run scales to
+// n = 10⁷–10⁸ bins. Law-equivalent (not trajectory-equivalent) to Process
+// for Shards > 1; trajectory-identical to a Process driven by
+// NewStreamSource(seed, 0) for Shards = 1.
+type ShardedProcess = shard.Process
+
+// NewShardedProcess builds a sharded process over a copy of the
+// configuration; shard s draws from NewStreamSource(seed, s).
+func NewShardedProcess(loads []int32, seed uint64, opts ShardOptions) (*ShardedProcess, error) {
+	return shard.NewProcess(loads, seed, opts)
+}
+
+// ShardedTetris is the data-parallel Tetris / leaky-bins engine: the batch
+// of arrivals is decomposed exactly across shards (fixed quotas, or
+// per-shard Binomial/Poisson draws whose sums recover the sequential law).
+type ShardedTetris = shard.Tetris
+
+// ShardedTetrisOptions configures a ShardedTetris.
+type ShardedTetrisOptions = shard.TetrisOptions
+
+// NewShardedTetris builds a sharded Tetris process over a copy of the
+// configuration.
+func NewShardedTetris(loads []int32, seed uint64, opts ShardedTetrisOptions) (*ShardedTetris, error) {
+	return shard.NewTetris(loads, seed, opts)
 }
 
 // Coupled runs the original process and Tetris on the joint probability
@@ -258,7 +295,7 @@ const (
 	ScaleLarge  = experiments.Large
 )
 
-// ExperimentIDs lists the suite in order (E01..E19).
+// ExperimentIDs lists the suite in order (E01..E20).
 func ExperimentIDs() []string {
 	var ids []string
 	for _, e := range experiments.Registry() {
@@ -289,5 +326,5 @@ type UnknownExperimentError struct {
 
 // Error implements the error interface.
 func (e *UnknownExperimentError) Error() string {
-	return "rbb: unknown experiment " + e.ID + " (want E01..E19)"
+	return "rbb: unknown experiment " + e.ID + " (want E01..E20)"
 }

@@ -100,7 +100,7 @@ func TestFacadeSingleWalkCover(t *testing.T) {
 
 func TestFacadeExperimentAccess(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 19 || ids[0] != "E01" || ids[18] != "E19" {
+	if len(ids) != 20 || ids[0] != "E01" || ids[19] != "E20" {
 		t.Fatalf("ids = %v", ids)
 	}
 	res, err := RunExperiment("E12", ExperimentConfig{Scale: ScaleSmall, Seed: 9})
@@ -117,6 +117,27 @@ func TestFacadeExperimentAccess(t *testing.T) {
 	}
 	if unknown.Error() == "" {
 		t.Fatal("empty error text")
+	}
+}
+
+func TestFacadeSharded(t *testing.T) {
+	p, err := NewShardedProcess(OnePerBin(512), 11, ShardOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run(50)
+	if p.Round() != 50 || p.Balls() != 512 {
+		t.Fatalf("round %d balls %d", p.Round(), p.Balls())
+	}
+	tet, err := NewShardedTetris(AllInOne(256, 256), 11, ShardedTetrisOptions{
+		Options: ShardOptions{Shards: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tet.Run(50)
+	if tet.Round() != 50 {
+		t.Fatalf("tetris round %d", tet.Round())
 	}
 }
 
