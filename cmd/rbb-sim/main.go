@@ -7,11 +7,20 @@
 // a run is a pure function of (seed, n, shards). Use an explicit -shards
 // value for results that reproduce across machines.
 //
+// Long runs survive restarts: -checkpoint writes whole-run snapshots
+// (periodically with -checkpoint-every, on SIGTERM/SIGINT, and at
+// completion), and -resume continues from one. A resumed run is
+// byte-identical to the uninterrupted run — the snapshot carries every
+// shard's rng stream state, the load vector and the streaming-observer
+// accumulators (see internal/checkpoint).
+//
 // Examples:
 //
 //	rbb-sim -n 1024 -rounds 10000
 //	rbb-sim -n 4096 -init all-in-one -rounds 20000 -report-every 1000
 //	rbb-sim -n 16777216 -rounds 500 -shards 64 -quantiles 0.5,0.9,0.99
+//	rbb-sim -n 16777216 -rounds 5000 -shards 64 -checkpoint run.ckpt -checkpoint-every 500
+//	rbb-sim -resume run.ckpt -rounds 5000 -checkpoint run.ckpt
 //	rbb-sim -n 1024 -process tetris -rounds 5000
 //	rbb-sim -n 512 -process token -strategy lifo -rounds 2000
 //	rbb-sim -n 1024 -process choices -d 2 -rounds 5000
@@ -19,14 +28,18 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
+	"repro/internal/checkpoint"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -63,43 +76,64 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rbb-sim", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		n        = fs.Int("n", 1024, "number of bins")
-		m        = fs.Int("m", 0, "number of balls (default: n)")
-		rounds   = fs.Int64("rounds", 10000, "rounds to simulate")
-		process  = fs.String("process", "original", "process: original | tetris | token | choices | jackson")
-		strategy = fs.String("strategy", "fifo", "token queueing strategy: fifo | lifo | random")
-		initName = fs.String("init", "one-per-bin", "initial configuration: one-per-bin | all-in-one | uniform | zipf")
-		lambda   = fs.Float64("lambda", 0.75, "tetris arrival rate per bin")
-		choices  = fs.Int("d", 2, "number of choices for -process choices")
-		seed     = fs.Uint64("seed", 1, "random seed")
-		every    = fs.Int64("report-every", 0, "print a row every K rounds (0 = auto, ~20 rows)")
-		shards   = fs.Int("shards", 0, "shard count for the data-parallel engine, original|tetris only (0 = GOMAXPROCS; the run is a pure function of seed, n and this value)")
-		quant    = fs.String("quantiles", "", "comma-separated probabilities in (0,1); streams P² sketches of the per-round max load and prints them in the summary (e.g. 0.5,0.9,0.99)")
+		n         = fs.Int("n", 1024, "number of bins")
+		m         = fs.Int("m", 0, "number of balls (default: n)")
+		rounds    = fs.Int64("rounds", 10000, "rounds to simulate (with -resume: the total target round, counted from the original start)")
+		process   = fs.String("process", "original", "process: original | tetris | token | choices | jackson")
+		strategy  = fs.String("strategy", "fifo", "token queueing strategy: fifo | lifo | random")
+		initName  = fs.String("init", "one-per-bin", "initial configuration: one-per-bin | all-in-one | uniform | zipf")
+		lambda    = fs.Float64("lambda", 0.75, "tetris arrival rate per bin")
+		choices   = fs.Int("d", 2, "number of choices for -process choices")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		every     = fs.Int64("report-every", 0, "print a row every K rounds (0 = auto, ~20 rows)")
+		shards    = fs.Int("shards", 0, "shard count for the data-parallel engine, original|tetris only (0 = GOMAXPROCS; the run is a pure function of seed, n and this value)")
+		quant     = fs.String("quantiles", "", "comma-separated probabilities in (0,1); streams P² sketches of the per-round max load and prints them in the summary (e.g. 0.5,0.9,0.99)")
+		ckptPath  = fs.String("checkpoint", "", "write whole-run checkpoints to this file (original process only): every -checkpoint-every rounds, on SIGTERM/SIGINT, and at completion")
+		ckptEvery = fs.Int64("checkpoint-every", 0, "rounds between periodic checkpoints (0 = only on signal and at completion; requires -checkpoint)")
+		resume    = fs.String("resume", "", "resume from a checkpoint file; n, m, seed, shards and quantiles come from the file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *n < 1 {
-		return fmt.Errorf("need n >= 1, got %d", *n)
-	}
 	if *rounds < 0 {
 		return fmt.Errorf("need rounds >= 0, got %d", *rounds)
+	}
+	if *ckptEvery < 0 {
+		return fmt.Errorf("need checkpoint-every >= 0, got %d", *ckptEvery)
+	}
+	if *ckptEvery > 0 && *ckptPath == "" {
+		return errors.New("-checkpoint-every requires -checkpoint")
+	}
+	if *resume != "" {
+		// The checkpoint is self-describing; flags that would contradict it
+		// are rejected rather than silently ignored.
+		fixed := map[string]bool{
+			"n": true, "m": true, "seed": true, "init": true, "process": true,
+			"strategy": true, "lambda": true, "d": true, "shards": true, "quantiles": true,
+		}
+		var conflict string
+		fs.Visit(func(f *flag.Flag) {
+			if fixed[f.Name] && conflict == "" {
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			return fmt.Errorf("-resume takes -%s from the checkpoint file; drop the flag", conflict)
+		}
+		return runResumed(out, *resume, *rounds, *every, *ckptPath, *ckptEvery)
+	}
+	if *ckptPath != "" && *process != "original" {
+		return fmt.Errorf("-checkpoint supports only -process original (got %q)", *process)
+	}
+	if *n < 1 {
+		return fmt.Errorf("need n >= 1, got %d", *n)
 	}
 	if *shards < 0 {
 		return fmt.Errorf("need shards >= 0, got %d", *shards)
 	}
-	var probs []float64
-	if *quant != "" {
-		for _, f := range strings.Split(*quant, ",") {
-			p, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-			if err != nil {
-				return fmt.Errorf("bad -quantiles entry %q: %v", f, err)
-			}
-			if p <= 0 || p >= 1 {
-				return fmt.Errorf("-quantiles entry %v outside (0, 1)", p)
-			}
-			probs = append(probs, p)
-		}
+	probs, err := parseQuantiles(*quant)
+	if err != nil {
+		return err
 	}
 	balls := *m
 	if balls == 0 {
@@ -152,14 +186,6 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown process %q (want original|tetris|token|choices|jackson)", *process)
 	}
 
-	interval := *every
-	if interval <= 0 {
-		interval = *rounds / 20
-		if interval < 1 {
-			interval = 1
-		}
-	}
-
 	// The header names the shard count (part of the random law's key) but
 	// not the worker count, which varies by machine and must not break the
 	// byte-identical-stdout determinism check.
@@ -173,16 +199,22 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "# %s process, n=%d m=%d init=%s seed=%d%s (legitimate: max load <= %d)\n",
 		*process, *n, balls, *initName, *seed, shardInfo, threshold)
-	fmt.Fprintf(out, "%10s  %8s  %11s  %10s\n", "round", "max load", "empty frac", "legitimate")
 
-	report := func() {
-		frac := float64(s.EmptyBins()) / float64(*n)
-		legit := "yes"
-		if s.MaxLoad() > threshold {
-			legit = "no"
+	if *ckptPath != "" {
+		// Checkpointed runs always carry a pipeline (window max, empty
+		// fraction, requested quantiles) so that resumed summaries cover
+		// the whole run.
+		pipe, err := shard.NewPipeline(probs)
+		if err != nil {
+			return err
 		}
-		fmt.Fprintf(out, "%10d  %8d  %11.4f  %10s\n", s.Round(), s.MaxLoad(), frac, legit)
+		pol := checkpoint.Policy{Path: *ckptPath, Every: *ckptEvery, Seed: *seed, Pipeline: pipe}
+		return runCheckpointed(out, s.(*shard.Process), pipe, pol, *rounds, *every)
 	}
+
+	interval := reportInterval(*every, *rounds)
+	fmt.Fprintf(out, "%10s  %8s  %11s  %10s\n", "round", "max load", "empty frac", "legitimate")
+	report := reporter(out, s, threshold)
 	report()
 	var wm engine.WindowMax
 	obs := []engine.Observer{&wm, engine.ObserverFunc(func(st engine.Stepper) {
@@ -215,4 +247,121 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// runResumed rebuilds a run from a checkpoint file and continues it to the
+// target round.
+func runResumed(out io.Writer, path string, target, every int64, ckptPath string, ckptEvery int64) error {
+	snap, err := checkpoint.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	p, pipe, err := checkpoint.Resume(snap, shard.Options{})
+	if err != nil {
+		return err
+	}
+	if target < p.Round() {
+		return fmt.Errorf("checkpoint is already at round %d, past the target -rounds %d (the flag counts total rounds from the original start, not additional rounds)", p.Round(), target)
+	}
+	if pipe == nil {
+		// Pre-observer checkpoint (engine state only): start fresh
+		// accumulators for the remaining rounds.
+		pipe, err = shard.NewPipeline(nil)
+		if err != nil {
+			return err
+		}
+	}
+	threshold := config.LegitimateThreshold(p.N(), config.Beta)
+	fmt.Fprintf(out, "# original process resumed at round %d, n=%d m=%d seed=%d shards=%d (legitimate: max load <= %d)\n",
+		p.Round(), p.N(), p.Balls(), snap.Seed, p.Engine().Shards(), threshold)
+	pol := checkpoint.Policy{Path: ckptPath, Every: ckptEvery, Seed: snap.Seed, Pipeline: pipe}
+	return runCheckpointed(out, p, pipe, pol, target, every)
+}
+
+// runCheckpointed drives a sharded original-process run under a checkpoint
+// policy, wiring SIGTERM/SIGINT into the snapshot-and-stop hook when the
+// policy writes anywhere.
+func runCheckpointed(out io.Writer, p *shard.Process, pipe *shard.Pipeline, pol checkpoint.Policy, target, every int64) error {
+	if pol.Path != "" {
+		sigCh := make(chan os.Signal, 2)
+		signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
+		defer signal.Stop(sigCh)
+		interrupt := make(chan struct{})
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-sigCh:
+				close(interrupt)
+			case <-done:
+			}
+		}()
+		pol.Interrupt = interrupt
+	}
+	threshold := config.LegitimateThreshold(p.N(), config.Beta)
+	interval := reportInterval(every, target)
+	fmt.Fprintf(out, "%10s  %8s  %11s  %10s\n", "round", "max load", "empty frac", "legitimate")
+	report := reporter(out, p, threshold)
+	report()
+	obs := engine.ObserverFunc(func(st engine.Stepper) {
+		if st.Round()%interval == 0 {
+			report()
+		}
+	})
+	round, interrupted, err := checkpoint.Run(p, target, pol, obs)
+	if err != nil {
+		return err
+	}
+	if interrupted {
+		fmt.Fprintf(out, "\ninterrupted: checkpoint written to %s at round %d\n", pol.Path, round)
+		return nil
+	}
+	fmt.Fprintf(out, "\nwindow max load: %d (%.2f x ln n)\n", pipe.WindowMax(), float64(pipe.WindowMax())/math.Log(float64(p.N())))
+	if q := pipe.String(); q != "" {
+		fmt.Fprintf(out, "max-load quantiles over rounds: %s\n", q)
+	}
+	return nil
+}
+
+// reporter returns the per-row printer shared by all run modes.
+func reporter(out io.Writer, s engine.Stepper, threshold int32) func() {
+	return func() {
+		frac := float64(s.EmptyBins()) / float64(s.N())
+		legit := "yes"
+		if s.MaxLoad() > threshold {
+			legit = "no"
+		}
+		fmt.Fprintf(out, "%10d  %8d  %11.4f  %10s\n", s.Round(), s.MaxLoad(), frac, legit)
+	}
+}
+
+// reportInterval resolves the -report-every flag (0 = auto, ~20 rows).
+func reportInterval(every, rounds int64) int64 {
+	if every > 0 {
+		return every
+	}
+	interval := rounds / 20
+	if interval < 1 {
+		interval = 1
+	}
+	return interval
+}
+
+// parseQuantiles parses the -quantiles flag.
+func parseQuantiles(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var probs []float64
+	for _, f := range strings.Split(s, ",") {
+		p, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -quantiles entry %q: %v", f, err)
+		}
+		if p <= 0 || p >= 1 {
+			return nil, fmt.Errorf("-quantiles entry %v outside (0, 1)", p)
+		}
+		probs = append(probs, p)
+	}
+	return probs, nil
 }

@@ -1,8 +1,13 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/checkpoint"
 )
 
 func TestRunOriginal(t *testing.T) {
@@ -121,5 +126,92 @@ func TestReportEvery(t *testing.T) {
 	lines := strings.Count(sb.String(), "\n")
 	if lines < 6 {
 		t.Errorf("too few lines:\n%s", sb.String())
+	}
+}
+
+// TestRunCheckpointResume is the CLI form of the resume-equivalence gate:
+// the final checkpoint of a resumed run is byte-identical to that of the
+// uninterrupted run, and the whole-run summary lines match.
+func TestRunCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.ckpt")
+	half := filepath.Join(dir, "half.ckpt")
+	res := filepath.Join(dir, "resumed.ckpt")
+	var fullOut, halfOut, resOut strings.Builder
+	common := []string{"-n", "1024", "-shards", "4", "-seed", "3", "-quantiles", "0.5,0.9"}
+	if err := run(append(common, "-rounds", "300", "-checkpoint", full), &fullOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(common, "-rounds", "150", "-checkpoint", half), &halfOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-resume", half, "-rounds", "300", "-checkpoint", res}, &resOut); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("resumed final checkpoint differs from uninterrupted")
+	}
+	tail := func(s string, k int) string {
+		lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+		if len(lines) > k {
+			lines = lines[len(lines)-k:]
+		}
+		return strings.Join(lines, "\n")
+	}
+	// The last three lines are blank + window max + quantiles.
+	if tail(fullOut.String(), 2) != tail(resOut.String(), 2) {
+		t.Fatalf("summaries differ:\n%s\nvs\n%s", tail(fullOut.String(), 2), tail(resOut.String(), 2))
+	}
+	if !strings.Contains(resOut.String(), "resumed at round 150") {
+		t.Errorf("resume header missing:\n%s", resOut.String())
+	}
+}
+
+// TestRunCheckpointEvery: periodic checkpoints leave a final-state file.
+func TestRunCheckpointEvery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.ckpt")
+	var sb strings.Builder
+	if err := run([]string{"-n", "256", "-rounds", "100", "-shards", "2",
+		"-checkpoint", path, "-checkpoint-every", "30"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := checkpoint.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Engine.Round != 100 {
+		t.Fatalf("final checkpoint at round %d, want 100", snap.Engine.Round)
+	}
+}
+
+func TestRunCheckpointFlagErrors(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "x.ckpt")
+	var sb strings.Builder
+	if err := run([]string{"-n", "64", "-rounds", "10", "-checkpoint", ck}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{"-checkpoint-every", "5"},                      // needs -checkpoint
+		{"-checkpoint", ck, "-checkpoint-every", "-1"},  // negative period
+		{"-process", "tetris", "-checkpoint", ck},       // unsupported process
+		{"-resume", ck, "-n", "64"},                     // n comes from the file
+		{"-resume", ck, "-seed", "1"},                   // seed comes from the file
+		{"-resume", ck, "-quantiles", "0.5"},            // quantiles come from the file
+		{"-resume", ck, "-rounds", "5"},                 // target before the checkpoint round (10)
+		{"-resume", filepath.Join(dir, "missing.ckpt")}, // no such file
+	}
+	for _, args := range cases {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
 	}
 }

@@ -1,0 +1,115 @@
+// Package checkpoint is the save/restore layer for sharded runs: it gives a
+// poly(n)-window simulation at n = 10⁷–10⁸ — hours of wall-clock — the
+// ability to survive a restart or migrate between machines without
+// perturbing the trajectory by a single draw.
+//
+// # Format
+//
+// A checkpoint is a versioned, self-describing little-endian binary blob:
+//
+//	magic   [8]byte  "RBBCKPT\n"
+//	version uint32   (currently 1)
+//	seed    uint64   master seed of the run (provenance; restore reads the
+//	                 serialized rng states, not this)
+//	n       uint64   number of bins
+//	shards  uint32   shard count S (the random law's decomposition)
+//	flags   uint32   bit 0: an observer-pipeline section follows the shards
+//	round   uint64   completed rounds at the cut
+//	per shard s = 0..S-1:
+//	  rng    [4]uint64  xoshiro256** state of stream (seed, s)
+//	  size   uint64     owned bins (must equal the canonical partition)
+//	  loads  size × int32
+//	  nwords uint64     worklist words (must equal ceil(size/64))
+//	  work   nwords × uint64
+//	observer section (iff flag bit 0):
+//	  rounds uint64; windowmax int32; windowany uint8
+//	  emptymin, emptysum float64; emptyrounds uint64
+//	  nq     uint32
+//	  per quantile: p float64; count uint64; q, pos, want 5 × float64 each
+//	trailer:
+//	  crc    uint32   CRC-32C (Castagnoli) of every preceding byte
+//
+// # Integrity
+//
+// Load validates everything it reads — magic, version, partition arithmetic,
+// non-negative loads, worklist word counts, rng-state non-degeneracy,
+// observer marker monotonicity — before the engine ever sees the data, and
+// verifies the CRC trailer; corrupted or truncated input yields an error,
+// never a panic and never a silently wrong resume. The worklist words are
+// redundant with the loads on purpose: shard.RestoreEngine cross-checks the
+// two, so a flipped bit that survives the CRC check (it cannot, but defense
+// in depth is cheap here) is still caught structurally.
+//
+// # Determinism contract
+//
+// A run saved at round t and resumed is byte-identical to the uninterrupted
+// run for every (seed, n, S), S = 1 included: the snapshot carries the raw
+// xoshiro256** state of every shard stream (rng.Source.State/SetState), the
+// full load vector, and the streaming-observer accumulators, which together
+// are the entire reachable state of the round protocol. The test suite and
+// the CI resume-equivalence job pin this.
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/shard"
+)
+
+// Version is the current format version written by Save.
+const Version = 1
+
+// magic identifies a checkpoint file.
+var magic = [8]byte{'R', 'B', 'B', 'C', 'K', 'P', 'T', '\n'}
+
+// flagObserver marks a snapshot carrying an observer-pipeline section.
+const flagObserver = 1 << 0
+
+// Format sanity caps: far above every supported configuration (ROADMAP
+// targets n ≥ 10⁹ ≈ 2³⁰), low enough that a corrupted header cannot demand
+// absurd work before the per-field validation rejects it.
+const (
+	maxBins      = 1 << 34
+	maxShards    = 1 << 20
+	maxQuantiles = 1 << 10
+)
+
+// ErrChecksum is returned by Load when the CRC trailer does not match the
+// payload.
+var ErrChecksum = errors.New("checkpoint: CRC mismatch")
+
+// Snapshot is one whole-run checkpoint: the run's provenance seed, the
+// sharded engine state, and (optionally) the streaming-observer state.
+type Snapshot struct {
+	// Seed is the master seed the run was started from. It is recorded for
+	// provenance and header printing; restore uses the serialized per-shard
+	// rng states.
+	Seed uint64
+	// Engine is the full deterministic engine state.
+	Engine *shard.EngineSnapshot
+	// Observer is the streaming-pipeline state, or nil if the run has no
+	// observer pipeline attached.
+	Observer *shard.PipelineSnapshot
+}
+
+// validate checks the in-memory snapshot shape before serialization.
+func (s *Snapshot) validate() error {
+	if s == nil || s.Engine == nil {
+		return errors.New("checkpoint: nil snapshot or engine state")
+	}
+	e := s.Engine
+	if e.N < 1 || e.N > maxBins {
+		return fmt.Errorf("checkpoint: %d bins outside [1, %d]", e.N, int64(maxBins))
+	}
+	if len(e.Shards) < 1 || len(e.Shards) > e.N || len(e.Shards) > maxShards {
+		return fmt.Errorf("checkpoint: %d shards for %d bins", len(e.Shards), e.N)
+	}
+	if e.Round < 0 {
+		return fmt.Errorf("checkpoint: round %d < 0", e.Round)
+	}
+	if s.Observer != nil && len(s.Observer.Sketches) > maxQuantiles {
+		return fmt.Errorf("checkpoint: %d quantile sketches exceed %d", len(s.Observer.Sketches), maxQuantiles)
+	}
+	return nil
+}

@@ -1,0 +1,335 @@
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"repro/internal/shard"
+	"repro/internal/stats"
+)
+
+// castagnoli is the CRC-32C polynomial table (hardware-accelerated on
+// amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// leWriter serializes little-endian values into a buffered, CRC-teed
+// writer, latching the first error.
+type leWriter struct {
+	w   *bufio.Writer
+	err error
+	buf [8]byte
+}
+
+func (w *leWriter) bytes(p []byte) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = w.w.Write(p)
+}
+
+func (w *leWriter) u64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:8], v)
+	w.bytes(w.buf[:8])
+}
+
+func (w *leWriter) u32(v uint32) {
+	binary.LittleEndian.PutUint32(w.buf[:4], v)
+	w.bytes(w.buf[:4])
+}
+
+func (w *leWriter) i32(v int32)   { w.u32(uint32(v)) }
+func (w *leWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
+
+func (w *leWriter) bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	w.bytes([]byte{b})
+}
+
+// Save serializes snap to dst in the versioned binary format, ending with
+// the CRC-32C trailer. The byte stream is a pure function of the snapshot
+// contents (no timestamps, no padding entropy), so two runs that reach the
+// same state produce byte-identical checkpoints — the CI resume-equivalence
+// gate compares files with cmp for exactly this reason.
+func Save(dst io.Writer, snap *Snapshot) error {
+	if err := snap.validate(); err != nil {
+		return err
+	}
+	crc := crc32.New(castagnoli)
+	w := &leWriter{w: bufio.NewWriterSize(io.MultiWriter(dst, crc), 1<<16)}
+
+	w.bytes(magic[:])
+	w.u32(Version)
+	w.u64(snap.Seed)
+	eng := snap.Engine
+	w.u64(uint64(eng.N))
+	w.u32(uint32(len(eng.Shards)))
+	var flags uint32
+	if snap.Observer != nil {
+		flags |= flagObserver
+	}
+	w.u32(flags)
+	w.u64(uint64(eng.Round))
+	for i := range eng.Shards {
+		sh := &eng.Shards[i]
+		for _, v := range sh.RNG {
+			w.u64(v)
+		}
+		w.u64(uint64(len(sh.Loads)))
+		for _, l := range sh.Loads {
+			w.i32(l)
+		}
+		w.u64(uint64(len(sh.Work)))
+		for _, v := range sh.Work {
+			w.u64(v)
+		}
+	}
+	if obs := snap.Observer; obs != nil {
+		w.u64(uint64(obs.Rounds))
+		w.i32(obs.WindowMax)
+		w.bool(obs.WindowAny)
+		w.f64(obs.EmptyMin)
+		w.f64(obs.EmptySum)
+		w.u64(uint64(obs.EmptyRounds))
+		w.u32(uint32(len(obs.Sketches)))
+		for _, st := range obs.Sketches {
+			w.f64(st.P)
+			w.u64(uint64(st.Count))
+			for _, v := range st.Q {
+				w.f64(v)
+			}
+			for _, v := range st.Pos {
+				w.f64(v)
+			}
+			for _, v := range st.Want {
+				w.f64(v)
+			}
+		}
+	}
+	if w.err != nil {
+		return fmt.Errorf("checkpoint: save: %w", w.err)
+	}
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc.Sum32())
+	if _, err := dst.Write(trailer[:]); err != nil {
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	return nil
+}
+
+// leReader deserializes little-endian values from a CRC-teed reader,
+// latching the first error. Truncation surfaces as a wrapped
+// io.ErrUnexpectedEOF.
+type leReader struct {
+	r   io.Reader
+	err error
+	buf [8]byte
+}
+
+func (r *leReader) read(n int) []byte {
+	if r.err == nil {
+		if _, err := io.ReadFull(r.r, r.buf[:n]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				err = fmt.Errorf("checkpoint: truncated input: %w", io.ErrUnexpectedEOF)
+			}
+			r.err = err
+			for i := range r.buf {
+				r.buf[i] = 0
+			}
+		}
+	}
+	return r.buf[:n]
+}
+
+func (r *leReader) u64() uint64 { return binary.LittleEndian.Uint64(r.read(8)) }
+func (r *leReader) u32() uint32 { return binary.LittleEndian.Uint32(r.read(4)) }
+
+func (r *leReader) i64(what string) int64 {
+	v := r.u64()
+	if r.err == nil && v > math.MaxInt64 {
+		r.err = fmt.Errorf("checkpoint: %s %d overflows int64", what, v)
+	}
+	return int64(v)
+}
+
+func (r *leReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *leReader) bool() bool {
+	b := r.read(1)[0]
+	if r.err == nil && b > 1 {
+		r.err = fmt.Errorf("checkpoint: invalid bool byte %d", b)
+	}
+	return b == 1
+}
+
+// i32Slice reads n int32 values in bounded chunks: the slice grows with the
+// bytes actually present, so a corrupted header demanding a huge count
+// errors out on truncation long before it can demand a huge allocation.
+func (r *leReader) i32Slice(n int) []int32 {
+	const chunk = 1 << 16
+	c := n
+	if c > chunk {
+		c = chunk
+	}
+	out := make([]int32, 0, c)
+	for len(out) < n && r.err == nil {
+		out = append(out, int32(r.u32()))
+	}
+	return out
+}
+
+// u64Slice is the uint64 analogue of i32Slice.
+func (r *leReader) u64Slice(n int) []uint64 {
+	const chunk = 1 << 13
+	c := n
+	if c > chunk {
+		c = chunk
+	}
+	out := make([]uint64, 0, c)
+	for len(out) < n && r.err == nil {
+		out = append(out, r.u64())
+	}
+	return out
+}
+
+// Load deserializes one checkpoint from src, validating every field and the
+// CRC trailer; the trailer must be followed by EOF (a checkpoint is a whole
+// file, not a stream prefix). Corrupted or truncated input yields an error;
+// Load never panics and never allocates more than a constant factor of the
+// bytes actually read. The returned snapshot still goes through the structural
+// re-validation of shard.RestoreEngine when it is turned back into a live
+// engine.
+func Load(src io.Reader) (*Snapshot, error) {
+	crc := crc32.New(castagnoli)
+	br := bufio.NewReaderSize(src, 1<<16)
+	r := &leReader{r: io.TeeReader(br, crc)}
+
+	var m [8]byte
+	copy(m[:], r.read(8))
+	if r.err != nil {
+		return nil, r.err
+	}
+	if m != magic {
+		return nil, errors.New("checkpoint: bad magic (not a checkpoint file)")
+	}
+	if v := r.u32(); r.err == nil && v != Version {
+		return nil, fmt.Errorf("checkpoint: unsupported format version %d (want %d)", v, Version)
+	}
+	seed := r.u64()
+	n := r.u64()
+	if r.err == nil && (n < 1 || n > maxBins) {
+		return nil, fmt.Errorf("checkpoint: %d bins outside [1, %d]", n, int64(maxBins))
+	}
+	s := r.u32()
+	if r.err == nil && (s < 1 || uint64(s) > n || s > maxShards) {
+		return nil, fmt.Errorf("checkpoint: %d shards for %d bins", s, n)
+	}
+	flags := r.u32()
+	if r.err == nil && flags&^uint32(flagObserver) != 0 {
+		return nil, fmt.Errorf("checkpoint: unknown flags %#x", flags)
+	}
+	round := r.i64("round")
+	if r.err != nil {
+		return nil, r.err
+	}
+
+	eng := &shard.EngineSnapshot{
+		N:      int(n),
+		Round:  round,
+		Shards: make([]shard.ShardSnapshot, s),
+	}
+	for i := range eng.Shards {
+		sh := &eng.Shards[i]
+		for j := range sh.RNG {
+			sh.RNG[j] = r.u64()
+		}
+		if r.err == nil && sh.RNG[0]|sh.RNG[1]|sh.RNG[2]|sh.RNG[3] == 0 {
+			return nil, fmt.Errorf("checkpoint: shard %d has all-zero rng state", i)
+		}
+		size := shard.PartitionSize(int(n), int(s), i)
+		if got := r.u64(); r.err == nil && got != uint64(size) {
+			return nil, fmt.Errorf("checkpoint: shard %d holds %d bins, partition wants %d", i, got, size)
+		}
+		sh.Loads = r.i32Slice(size)
+		for _, l := range sh.Loads {
+			if l < 0 {
+				return nil, fmt.Errorf("checkpoint: shard %d has negative load %d", i, l)
+			}
+		}
+		nwords := (size + 63) / 64
+		if got := r.u64(); r.err == nil && got != uint64(nwords) {
+			return nil, fmt.Errorf("checkpoint: shard %d has %d worklist words, want %d", i, got, nwords)
+		}
+		sh.Work = r.u64Slice(nwords)
+		if r.err != nil {
+			return nil, r.err
+		}
+	}
+
+	var obs *shard.PipelineSnapshot
+	if flags&flagObserver != 0 {
+		obs = &shard.PipelineSnapshot{}
+		obs.Rounds = r.i64("observer rounds")
+		obs.WindowMax = int32(r.u32())
+		obs.WindowAny = r.bool()
+		obs.EmptyMin = r.f64()
+		obs.EmptySum = r.f64()
+		obs.EmptyRounds = r.i64("observer empty rounds")
+		nq := r.u32()
+		if r.err == nil && nq > maxQuantiles {
+			return nil, fmt.Errorf("checkpoint: %d quantile sketches exceed %d", nq, maxQuantiles)
+		}
+		for q := uint32(0); q < nq && r.err == nil; q++ {
+			var st stats.P2State
+			st.P = r.f64()
+			st.Count = r.i64("sketch count")
+			for j := range st.Q {
+				st.Q[j] = r.f64()
+			}
+			for j := range st.Pos {
+				st.Pos[j] = r.f64()
+			}
+			for j := range st.Want {
+				st.Want[j] = r.f64()
+			}
+			obs.Sketches = append(obs.Sketches, st)
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		if obs.WindowMax < 0 {
+			return nil, fmt.Errorf("checkpoint: negative observer window max %d", obs.WindowMax)
+		}
+	}
+
+	sum := crc.Sum32()
+	var trailer [4]byte
+	if _, err := io.ReadFull(br, trailer[:]); err != nil {
+		return nil, fmt.Errorf("checkpoint: truncated trailer: %w", io.ErrUnexpectedEOF)
+	}
+	if binary.LittleEndian.Uint32(trailer[:]) != sum {
+		return nil, ErrChecksum
+	}
+	// The trailer must end the stream: trailing bytes would break the
+	// one-state-one-encoding property the CI cmp gate and FuzzLoad rely on.
+	if _, err := br.ReadByte(); err == nil {
+		return nil, errors.New("checkpoint: trailing data after trailer")
+	} else if err != io.EOF {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	snap := &Snapshot{Seed: seed, Engine: eng, Observer: obs}
+	if err := snap.validate(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}

@@ -1,0 +1,32 @@
+package checkpoint
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/atomicio"
+)
+
+// WriteFile atomically replaces path with the serialized snapshot
+// (internal/atomicio: temp file in the same directory, fsync, rename). A
+// crash mid-write therefore leaves either the old checkpoint or the new
+// one, never a torn file — which the CRC trailer would reject anyway, but
+// a valid previous checkpoint is strictly better than a rejected torn one.
+func WriteFile(path string, snap *Snapshot) error {
+	// Save's own errors already carry the package prefix; OS-level errors
+	// name the file, so neither needs further wrapping.
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		return Save(w, snap)
+	})
+}
+
+// ReadFile loads a snapshot from path.
+func ReadFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

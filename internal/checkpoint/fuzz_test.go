@@ -1,0 +1,68 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/shard"
+)
+
+// FuzzLoad feeds arbitrary bytes to Load: on corrupted, truncated or
+// adversarial input it must return an error — never panic, and never hand
+// back a snapshot that Save cannot reproduce byte-for-byte. The seed corpus
+// holds valid checkpoints (with and without an observer section) so the
+// fuzzer starts from the interesting part of the input space.
+func FuzzLoad(f *testing.F) {
+	for _, withObs := range []bool{false, true} {
+		p, err := shard.NewProcess(config.OnePerBin(70), 3, shard.Options{Shards: 3})
+		if err != nil {
+			f.Fatal(err)
+		}
+		pipe, err := shard.NewPipeline([]float64{0.5, 0.9})
+		if err != nil {
+			f.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			p.Step()
+			pipe.Observe(p)
+		}
+		eng, err := p.Snapshot()
+		if err != nil {
+			f.Fatal(err)
+		}
+		snap := &Snapshot{Seed: 3, Engine: eng}
+		if withObs {
+			snap.Observer = pipe.Snapshot()
+		}
+		var buf bytes.Buffer
+		if err := Save(&buf, snap); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		// Truncated, extended and bit-flipped variants widen the corpus.
+		f.Add(buf.Bytes()[:buf.Len()/2])
+		f.Add(append(append([]byte(nil), buf.Bytes()...), 0))
+		flipped := append([]byte(nil), buf.Bytes()...)
+		flipped[buf.Len()/3] ^= 0x80
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("RBBCKPT\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything Load accepts must re-serialize to exactly the accepted
+		// bytes: the format has a single canonical encoding per state.
+		var out bytes.Buffer
+		if err := Save(&out, snap); err != nil {
+			t.Fatalf("Load accepted a snapshot Save rejects: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatal("accepted input is not canonical")
+		}
+	})
+}

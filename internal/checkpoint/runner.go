@@ -1,0 +1,105 @@
+package checkpoint
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/shard"
+)
+
+// Policy configures whole-run checkpointing for Run.
+type Policy struct {
+	// Path is the checkpoint destination, atomically replaced on every
+	// write. Empty disables checkpointing (Run degenerates to a plain
+	// observe loop).
+	Path string
+	// Every is the period of the periodic hook: a snapshot is written after
+	// every Every-th completed round. 0 writes only the final (and
+	// interrupt-triggered) snapshot.
+	Every int64
+	// Seed is the run's master seed, recorded in the snapshot header for
+	// provenance.
+	Seed uint64
+	// Pipeline, when non-nil, is observed after every round and its
+	// accumulator state rides inside every snapshot, so resumed summaries
+	// cover the whole run, not just the post-resume suffix.
+	Pipeline *shard.Pipeline
+	// Interrupt, when non-nil, is the kill hook: once it is closed (or a
+	// value arrives), Run writes a snapshot at the next round boundary and
+	// returns early. cmd/rbb-sim wires SIGTERM/SIGINT into it.
+	Interrupt <-chan struct{}
+}
+
+// Run drives p to round target under pol, notifying obs (and pol.Pipeline)
+// after every round. All checkpoint hooks are barrier-synchronized for
+// free: Engine.Step returns only after the release and commit barriers, so
+// every snapshot taken between Steps is a consistent whole-run cut — no
+// extra synchronization protocol exists, by construction.
+//
+// Run returns the number of completed rounds and whether it stopped early
+// on pol.Interrupt. When pol.Path is set, a snapshot is on disk at return:
+// written every pol.Every rounds, at interruption, and at normal
+// completion.
+func Run(p *shard.Process, target int64, pol Policy, obs ...engine.Observer) (int64, bool, error) {
+	if pol.Pipeline != nil {
+		obs = append(obs, pol.Pipeline)
+	}
+	write := func() error {
+		if pol.Path == "" {
+			return nil
+		}
+		eng, err := p.Snapshot()
+		if err != nil {
+			return err
+		}
+		snap := &Snapshot{Seed: pol.Seed, Engine: eng}
+		if pol.Pipeline != nil {
+			snap.Observer = pol.Pipeline.Snapshot()
+		}
+		return WriteFile(pol.Path, snap)
+	}
+	for p.Round() < target {
+		p.Step()
+		for _, o := range obs {
+			o.Observe(p)
+		}
+		select {
+		case <-pol.Interrupt:
+			if err := write(); err != nil {
+				return p.Round(), true, fmt.Errorf("interrupt snapshot: %w", err)
+			}
+			return p.Round(), true, nil
+		default:
+		}
+		if pol.Every > 0 && p.Round()%pol.Every == 0 && p.Round() < target {
+			if err := write(); err != nil {
+				return p.Round(), false, fmt.Errorf("periodic snapshot: %w", err)
+			}
+		}
+	}
+	if err := write(); err != nil {
+		return p.Round(), false, fmt.Errorf("final snapshot: %w", err)
+	}
+	return p.Round(), false, nil
+}
+
+// Resume rebuilds a live process and (optionally) its observer pipeline
+// from a snapshot, applying opts for Workers. The snapshot's shard count is
+// authoritative (it is part of the saved random law).
+func Resume(snap *Snapshot, opts shard.Options) (*shard.Process, *shard.Pipeline, error) {
+	if err := snap.validate(); err != nil {
+		return nil, nil, err
+	}
+	p, err := shard.RestoreProcess(snap.Engine, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	var pipe *shard.Pipeline
+	if snap.Observer != nil {
+		pipe, err = shard.RestorePipeline(snap.Observer)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return p, pipe, nil
+}

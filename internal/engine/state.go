@@ -497,6 +497,46 @@ func (s *State) commitDense() {
 	s.nonEmpty = len(load) - empty
 }
 
+// Snapshot returns a copy of the load vector and of the worklist words for
+// checkpointing. The worklist is derivable from the loads; serializing both
+// lets Restore cross-check them, so a corrupted snapshot is rejected instead
+// of silently resuming from an inconsistent state. It must not be called
+// mid-round (between a Release* call and Commit).
+func (s *State) Snapshot() (loads []int32, work []uint64, err error) {
+	if s.inRound {
+		return nil, nil, errors.New("engine: Snapshot mid-round")
+	}
+	if s.workStale {
+		s.rebuildWork()
+	}
+	loads = s.LoadsCopy()
+	work = make([]uint64, s.work.NumWords())
+	for i := range work {
+		work[i] = s.work.Word(i)
+	}
+	return loads, work, nil
+}
+
+// Restore replaces the configuration from a snapshot taken with Snapshot.
+// It rebuilds the statistics from loads (as Reload does) and then verifies
+// that work matches the rebuilt worklist bit for bit, returning an error —
+// and leaving the State in the reloaded, self-consistent form — on any
+// mismatch.
+func (s *State) Restore(loads []int32, work []uint64) error {
+	if err := s.Reload(loads); err != nil {
+		return err
+	}
+	if len(work) != s.work.NumWords() {
+		return fmt.Errorf("engine: Restore with %d worklist words, want %d", len(work), s.work.NumWords())
+	}
+	for i := range work {
+		if work[i] != s.work.Word(i) {
+			return fmt.Errorf("engine: worklist word %d inconsistent with loads", i)
+		}
+	}
+	return nil
+}
+
 // CheckInvariants verifies that the worklist, counters and cached maximum
 // agree with the load vector; tests call it after arbitrary rounds.
 func (s *State) CheckInvariants() error {

@@ -89,6 +89,13 @@ func (w *WindowMax) Observe(s Stepper) {
 // Max returns the maximum observed load (0 before any observation).
 func (w *WindowMax) Max() int32 { return w.max }
 
+// State returns the accumulator state (the running maximum and whether any
+// round has been observed), for checkpointing.
+func (w *WindowMax) State() (max int32, any bool) { return w.max, w.any }
+
+// SetState restores accumulator state captured with State.
+func (w *WindowMax) SetState(max int32, any bool) { w.max, w.any = max, any }
+
 // EmptyFraction is an Observer tracking the minimum and mean empty-bin
 // fraction over the observed rounds — the Lemma 1–2 statistics.
 type EmptyFraction struct {
@@ -122,4 +129,15 @@ func (e *EmptyFraction) Mean() float64 {
 		return 0
 	}
 	return e.sum / float64(e.rounds)
+}
+
+// State returns the accumulator state (minimum, running sum, observed
+// rounds), for checkpointing.
+func (e *EmptyFraction) State() (min, sum float64, rounds int64) {
+	return e.min, e.sum, e.rounds
+}
+
+// SetState restores accumulator state captured with State.
+func (e *EmptyFraction) SetState(min, sum float64, rounds int64) {
+	e.min, e.sum, e.rounds = min, sum, rounds
 }

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -38,6 +39,60 @@ func NewPipeline(quantiles []float64) (*Pipeline, error) {
 			return nil, fmt.Errorf("shard: pipeline quantile: %w", err)
 		}
 		p.sketch = append(p.sketch, s)
+	}
+	return p, nil
+}
+
+// PipelineSnapshot is the serializable state of a Pipeline. The tracked
+// probabilities ride inside the sketch states (P2State.P), in the
+// pipeline's sorted order.
+type PipelineSnapshot struct {
+	Rounds      int64
+	WindowMax   int32
+	WindowAny   bool
+	EmptyMin    float64
+	EmptySum    float64
+	EmptyRounds int64
+	Sketches    []stats.P2State
+}
+
+// Snapshot captures the pipeline state for checkpointing.
+func (p *Pipeline) Snapshot() *PipelineSnapshot {
+	snap := &PipelineSnapshot{Rounds: p.rounds}
+	snap.WindowMax, snap.WindowAny = p.window.State()
+	snap.EmptyMin, snap.EmptySum, snap.EmptyRounds = p.empty.State()
+	for _, sk := range p.sketch {
+		snap.Sketches = append(snap.Sketches, sk.State())
+	}
+	return snap
+}
+
+// RestorePipeline rebuilds a pipeline from a snapshot. The restored
+// pipeline continues the stream exactly: observing the same subsequent
+// rounds yields the same summaries as the uninterrupted pipeline.
+func RestorePipeline(snap *PipelineSnapshot) (*Pipeline, error) {
+	if snap == nil {
+		return nil, errors.New("shard: RestorePipeline with nil snapshot")
+	}
+	if snap.Rounds < 0 || snap.EmptyRounds < 0 {
+		return nil, errors.New("shard: RestorePipeline with negative round count")
+	}
+	if math.IsNaN(snap.EmptyMin) || math.IsNaN(snap.EmptySum) {
+		return nil, errors.New("shard: RestorePipeline with NaN empty-fraction state")
+	}
+	p := &Pipeline{rounds: snap.Rounds}
+	p.window.SetState(snap.WindowMax, snap.WindowAny)
+	p.empty.SetState(snap.EmptyMin, snap.EmptySum, snap.EmptyRounds)
+	for i, st := range snap.Sketches {
+		sk, err := stats.RestoreP2Quantile(st)
+		if err != nil {
+			return nil, fmt.Errorf("shard: pipeline quantile: %w", err)
+		}
+		if i > 0 && st.P < p.probs[i-1] {
+			return nil, errors.New("shard: RestorePipeline quantiles not sorted")
+		}
+		p.probs = append(p.probs, st.P)
+		p.sketch = append(p.sketch, sk)
 	}
 	return p, nil
 }

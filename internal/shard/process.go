@@ -40,6 +40,30 @@ func NewProcess(loads []int32, seed uint64, opts Options) (*Process, error) {
 	return &Process{eng: eng, m: m}, nil
 }
 
+// Snapshot captures the full process state for checkpointing. A Process
+// holds no randomized state beyond its engine (the ball count is derived
+// from the loads), so the engine snapshot is the whole checkpoint.
+func (p *Process) Snapshot() (*EngineSnapshot, error) { return p.eng.Snapshot() }
+
+// RestoreProcess rebuilds a sharded process from a snapshot taken with
+// Snapshot. The restored process continues the trajectory exactly: for any
+// round r past the snapshot, its loads are byte-identical to those of the
+// uninterrupted run.
+func RestoreProcess(snap *EngineSnapshot, opts Options) (*Process, error) {
+	if opts.OnEmptied != nil {
+		return nil, errors.New("shard: RestoreProcess does not support OnEmptied")
+	}
+	eng, err := RestoreEngine(snap, opts)
+	if err != nil {
+		return nil, err
+	}
+	m := eng.Sum()
+	if m > math.MaxInt32 {
+		return nil, fmt.Errorf("shard: %d balls exceed int32 bin capacity", m)
+	}
+	return &Process{eng: eng, m: m}, nil
+}
+
 // relaunch is the RBB arrival rule: every released ball is re-thrown.
 func relaunch(_, released int, _ *rng.Source) int { return released }
 

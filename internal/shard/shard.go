@@ -150,13 +150,9 @@ func NewEngine(loads []int32, seed uint64, opts Options) (*Engine, error) {
 		released: make([]int, s),
 		staged:   make([]int, s),
 	}
-	q, r := n/s, n%s
 	base := 0
 	for i := range e.shards {
-		size := q
-		if i < r {
-			size++
-		}
+		size := PartitionSize(n, s, i)
 		var eopts engine.Options
 		if opts.OnEmptied != nil {
 			cb, off := opts.OnEmptied, base
@@ -176,11 +172,23 @@ func NewEngine(loads []int32, seed uint64, opts Options) (*Engine, error) {
 		base += size
 	}
 	e.shift = -1
-	if r == 0 && q&(q-1) == 0 {
+	if q, r := n/s, n%s; r == 0 && q&(q-1) == 0 {
 		e.shift = bits.TrailingZeros(uint(q))
 	}
 	e.refreshStats()
 	return e, nil
+}
+
+// PartitionSize returns the canonical size of shard i when n bins are
+// split into s contiguous shards: the first n mod s shards hold one extra
+// bin. It is the single definition of the partition arithmetic —
+// checkpoint decoding validates serialized shard sizes against it.
+func PartitionSize(n, s, i int) int {
+	size := n / s
+	if i < n%s {
+		size++
+	}
+	return size
 }
 
 // shardOf returns the shard owning global bin v. The first n mod S shards
@@ -278,6 +286,95 @@ func (e *Engine) Step(arrivals Arrivals) {
 	})
 	e.refreshStats()
 	e.round++
+}
+
+// ShardSnapshot is the checkpointed state of one shard: its private rng
+// stream, its local load slice and its local worklist words (the latter are
+// derivable from the loads; carrying both lets restore cross-check them).
+type ShardSnapshot struct {
+	RNG   [4]uint64
+	Loads []int32
+	Work  []uint64
+}
+
+// EngineSnapshot is the complete deterministic state of an Engine between
+// rounds: everything the round protocol reads is either here or derived
+// from it, so a restored engine continues the trajectory exactly. It is
+// plain data; internal/checkpoint owns the serialized form.
+type EngineSnapshot struct {
+	N      int
+	Round  int64
+	Shards []ShardSnapshot
+}
+
+// Snapshot captures the full engine state. Step returns only after both
+// phase barriers, so a snapshot taken by the driving goroutine between
+// Steps is always a consistent whole-run cut — no draining or quiescing
+// protocol is needed beyond "not during a Step call".
+func (e *Engine) Snapshot() (*EngineSnapshot, error) {
+	snap := &EngineSnapshot{
+		N:      e.n,
+		Round:  e.round,
+		Shards: make([]ShardSnapshot, len(e.shards)),
+	}
+	for i := range e.shards {
+		sh := &e.shards[i]
+		loads, work, err := sh.state.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		snap.Shards[i] = ShardSnapshot{RNG: sh.src.State(), Loads: loads, Work: work}
+	}
+	return snap, nil
+}
+
+// RestoreEngine rebuilds an engine from a snapshot. The shard count comes
+// from the snapshot (opts.Shards is ignored — it is part of the saved
+// random law); Workers and OnEmptied are taken from opts as usual. Every
+// structural property is validated: the per-shard slice sizes must match
+// the canonical partition of N into len(Shards) shards, the worklist words
+// must agree with the loads, and the rng states must be valid. The restored
+// engine's Released/Staged read 0 until its first Step (the in-flight
+// counters of the pre-snapshot round are not part of the trajectory).
+func RestoreEngine(snap *EngineSnapshot, opts Options) (*Engine, error) {
+	if snap == nil {
+		return nil, errors.New("shard: RestoreEngine with nil snapshot")
+	}
+	if snap.Round < 0 {
+		return nil, fmt.Errorf("shard: snapshot round %d < 0", snap.Round)
+	}
+	s := len(snap.Shards)
+	if s < 1 || s > snap.N {
+		return nil, fmt.Errorf("shard: snapshot has %d shards for %d bins", s, snap.N)
+	}
+	loads := make([]int32, 0, snap.N)
+	for i := range snap.Shards {
+		loads = append(loads, snap.Shards[i].Loads...)
+	}
+	if len(loads) != snap.N {
+		return nil, fmt.Errorf("shard: snapshot shards hold %d bins, header says %d", len(loads), snap.N)
+	}
+	opts.Shards = s
+	e, err := NewEngine(loads, 0, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i := range e.shards {
+		sh := &e.shards[i]
+		ss := &snap.Shards[i]
+		if sh.size != len(ss.Loads) {
+			return nil, fmt.Errorf("shard: snapshot shard %d holds %d bins, partition wants %d", i, len(ss.Loads), sh.size)
+		}
+		if err := sh.state.Restore(ss.Loads, ss.Work); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if err := sh.src.SetState(ss.RNG); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	e.round = snap.Round
+	e.refreshStats()
+	return e, nil
 }
 
 // N returns the number of bins.

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+
+	"repro/internal/atomicio"
+)
+
+// Checkpoint is the batch-level resume policy: with it set, Run persists
+// every completed trial's metric row to a progress file, and a later Run of
+// the same spec skips those trials. Because trial i always draws from
+// rng.NewStream(Seed, i), per-trial results are independent of execution
+// order, so a resumed batch aggregates to exactly the numbers the
+// uninterrupted batch would have produced — the engine-level analogue lives
+// in internal/checkpoint; this is the sweep-level rung.
+type Checkpoint struct {
+	// Path of the progress file. It is rewritten atomically (temp file +
+	// rename) after each completed trial, so a kill mid-sweep loses at most
+	// the trials still in flight.
+	Path string
+}
+
+// progressFile is the serialized form: the spec identity (validated on
+// resume — resuming under a different seed, trial count or metric set is an
+// error, not a silent mix) plus the completed rows. Values are stored as
+// shortest-round-trip strings, which reproduce every float64 bit pattern
+// including infinities.
+type progressFile struct {
+	Seed    uint64           `json:"seed"`
+	Trials  int              `json:"trials"`
+	Metrics []string         `json:"metrics"`
+	Done    map[int][]string `json:"done"`
+}
+
+// ckptState is the live progress tracker shared by the worker goroutines.
+type ckptState struct {
+	mu   sync.Mutex
+	path string
+	file progressFile
+}
+
+// loadProgress reads an existing progress file (absent is fine: a fresh
+// sweep) and validates it against the spec.
+func loadProgress(spec Spec) (*ckptState, map[int][]float64, error) {
+	c := &ckptState{
+		path: spec.Checkpoint.Path,
+		file: progressFile{
+			Seed:    spec.Seed,
+			Trials:  spec.Trials,
+			Metrics: append([]string(nil), spec.Metrics...),
+			Done:    make(map[int][]string),
+		},
+	}
+	data, err := os.ReadFile(c.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return c, nil, nil
+		}
+		return nil, nil, fmt.Errorf("sim: checkpoint: %w", err)
+	}
+	var f progressFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, nil, fmt.Errorf("sim: checkpoint %s: %w", c.path, err)
+	}
+	if f.Seed != spec.Seed || f.Trials != spec.Trials {
+		return nil, nil, fmt.Errorf("sim: checkpoint %s is for seed=%d trials=%d, spec wants seed=%d trials=%d",
+			c.path, f.Seed, f.Trials, spec.Seed, spec.Trials)
+	}
+	if len(f.Metrics) != len(spec.Metrics) {
+		return nil, nil, fmt.Errorf("sim: checkpoint %s tracks %d metrics, spec wants %d", c.path, len(f.Metrics), len(spec.Metrics))
+	}
+	for i, name := range spec.Metrics {
+		if f.Metrics[i] != name {
+			return nil, nil, fmt.Errorf("sim: checkpoint %s metric %d is %q, spec wants %q", c.path, i, f.Metrics[i], name)
+		}
+	}
+	restored := make(map[int][]float64, len(f.Done))
+	for t, row := range f.Done {
+		if t < 0 || t >= spec.Trials {
+			return nil, nil, fmt.Errorf("sim: checkpoint %s has trial %d outside [0, %d)", c.path, t, spec.Trials)
+		}
+		if len(row) != len(spec.Metrics) {
+			return nil, nil, fmt.Errorf("sim: checkpoint %s trial %d has %d values, want %d", c.path, t, len(row), len(spec.Metrics))
+		}
+		vals := make([]float64, len(row))
+		for i, s := range row {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("sim: checkpoint %s trial %d value %q: %w", c.path, t, s, err)
+			}
+			vals[i] = v
+		}
+		restored[t] = vals
+		c.file.Done[t] = row
+	}
+	return c, restored, nil
+}
+
+// record persists one completed trial. It is called from worker goroutines;
+// the write is serialized and atomic.
+func (c *ckptState) record(t int, row []float64) error {
+	enc := make([]string, len(row))
+	for i, v := range row {
+		enc[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.file.Done[t] = enc
+	data, err := json.Marshal(&c.file)
+	if err != nil {
+		return fmt.Errorf("sim: checkpoint: %w", err)
+	}
+	if err := atomicio.WriteFile(c.path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	}); err != nil {
+		return fmt.Errorf("sim: checkpoint: %w", err)
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -127,6 +128,66 @@ func (e *P2Quantile) Quantile() float64 {
 		return Quantile(buf, e.p)
 	}
 	return e.q[2]
+}
+
+// P2State is the complete serializable state of a P2Quantile, for
+// checkpointing. While Count < 5 the first Count entries of Q hold the raw
+// buffered sample and Pos/Want are meaningless; from Count = 5 on, Q/Pos/
+// Want are the five marker heights, positions and desired positions.
+type P2State struct {
+	P     float64
+	Count int64
+	Q     [5]float64
+	Pos   [5]float64
+	Want  [5]float64
+}
+
+// State returns the estimator state for checkpointing.
+func (e *P2Quantile) State() P2State {
+	return P2State{P: e.p, Count: e.count, Q: e.q, Pos: e.n, Want: e.np}
+}
+
+// RestoreP2Quantile rebuilds an estimator from a state captured with State.
+// A restored estimator continues the stream exactly: feeding the same
+// subsequent observations to the original and the restored copy yields
+// identical estimates.
+func RestoreP2Quantile(st P2State) (*P2Quantile, error) {
+	e, err := NewP2Quantile(st.P)
+	if err != nil {
+		return nil, err
+	}
+	if st.Count < 0 {
+		return nil, fmt.Errorf("stats: RestoreP2Quantile count = %d < 0", st.Count)
+	}
+	for _, v := range st.Q {
+		if math.IsNaN(v) {
+			return nil, errors.New("stats: RestoreP2Quantile NaN marker height")
+		}
+	}
+	e.count = st.Count
+	e.q = st.Q
+	if st.Count >= 5 {
+		for i := 0; i < 5; i++ {
+			if math.IsNaN(st.Want[i]) || math.IsInf(st.Want[i], 0) {
+				return nil, errors.New("stats: RestoreP2Quantile non-finite desired position")
+			}
+			if i == 0 {
+				continue
+			}
+			if !(st.Pos[i] > st.Pos[i-1]) {
+				return nil, errors.New("stats: RestoreP2Quantile marker positions not increasing")
+			}
+			if !(st.Q[i] >= st.Q[i-1]) {
+				return nil, errors.New("stats: RestoreP2Quantile marker heights not sorted")
+			}
+			if !(st.Want[i] > st.Want[i-1]) {
+				return nil, errors.New("stats: RestoreP2Quantile desired positions not increasing")
+			}
+		}
+		e.n = st.Pos
+		e.np = st.Want
+	}
+	return e, nil
 }
 
 // Min returns the smallest observation seen (0 before any observation).

@@ -94,3 +94,91 @@ func TestP2ConstantStream(t *testing.T) {
 		t.Errorf("constant stream: q=%v min=%v max=%v", e.Quantile(), e.Min(), e.Max())
 	}
 }
+
+// TestP2StateRoundTrip: an estimator restored mid-stream tracks the
+// original exactly over any shared suffix — the property the checkpoint
+// layer's observer section depends on.
+func TestP2StateRoundTrip(t *testing.T) {
+	for _, cut := range []int{0, 3, 5, 200} {
+		e, err := NewP2Quantile(0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := rng.New(uint64(17 + cut))
+		for i := 0; i < cut; i++ {
+			e.Add(src.Float64() * 100)
+		}
+		r, err := RestoreP2Quantile(e.State())
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if r.N() != e.N() || r.P() != e.P() || r.Quantile() != e.Quantile() {
+			t.Fatalf("cut %d: restored (n=%d p=%v q=%v), want (n=%d p=%v q=%v)",
+				cut, r.N(), r.P(), r.Quantile(), e.N(), e.P(), e.Quantile())
+		}
+		for i := 0; i < 300; i++ {
+			x := src.Float64() * 100
+			e.Add(x)
+			r.Add(x)
+			if e.Quantile() != r.Quantile() {
+				t.Fatalf("cut %d: diverged after %d more observations: %v vs %v",
+					cut, i+1, e.Quantile(), r.Quantile())
+			}
+		}
+		if e.Min() != r.Min() || e.Max() != r.Max() {
+			t.Fatalf("cut %d: extremes diverge", cut)
+		}
+	}
+}
+
+// TestRestoreP2QuantileValidation: corrupted states are rejected.
+func TestRestoreP2QuantileValidation(t *testing.T) {
+	e, err := NewP2Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		e.Add(float64(i))
+	}
+	good := e.State()
+	bad := good
+	bad.P = 1.5
+	if _, err := RestoreP2Quantile(bad); err == nil {
+		t.Error("p outside (0,1) accepted")
+	}
+	bad = good
+	bad.Count = -1
+	if _, err := RestoreP2Quantile(bad); err == nil {
+		t.Error("negative count accepted")
+	}
+	bad = good
+	bad.Q[2] = math.NaN()
+	if _, err := RestoreP2Quantile(bad); err == nil {
+		t.Error("NaN marker height accepted")
+	}
+	bad = good
+	bad.Pos[1] = bad.Pos[3]
+	if _, err := RestoreP2Quantile(bad); err == nil {
+		t.Error("non-increasing marker positions accepted")
+	}
+	bad = good
+	bad.Want[2] = math.NaN()
+	if _, err := RestoreP2Quantile(bad); err == nil {
+		t.Error("NaN desired position accepted")
+	}
+	bad = good
+	bad.Want[3] = bad.Want[1]
+	if _, err := RestoreP2Quantile(bad); err == nil {
+		t.Error("non-increasing desired positions accepted")
+	}
+	bad = good
+	bad.Q[1], bad.Q[3] = bad.Q[3], bad.Q[1]
+	if bad.Q[1] != bad.Q[3] { // only meaningful if the heights actually differ
+		if _, err := RestoreP2Quantile(bad); err == nil {
+			t.Error("unsorted marker heights accepted")
+		}
+	}
+	if _, err := RestoreP2Quantile(good); err != nil {
+		t.Errorf("clean state rejected: %v", err)
+	}
+}
