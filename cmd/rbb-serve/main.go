@@ -1,0 +1,109 @@
+// Command rbb-serve is the long-running run service: it multiplexes many
+// concurrent sharded balls-into-bins simulations over a bounded worker
+// budget and exposes submission, streaming observers, results and
+// cancellation over HTTP/JSON (see internal/serve for the API).
+//
+// With -data set, every run state transition persists and rbb runs write
+// periodic binary checkpoints. SIGTERM/SIGINT trigger snapshot-and-stop:
+// in-flight runs checkpoint at their next round boundary and a restarted
+// server picks them back up byte-identically.
+//
+// Examples:
+//
+//	rbb-serve -addr :8080 -data /var/lib/rbb -workers 4
+//	curl -s localhost:8080/v1/runs -d '{"seed":1,"n":1048576,"rounds":2000,"shards":8,"quantiles":[0.5,0.99]}'
+//	curl -s localhost:8080/v1/runs/r000001/stream
+//	curl -s localhost:8080/v1/runs/r000001/result
+//	curl -s -X POST localhost:8080/v1/runs/r000001/cancel
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rbb-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rbb-serve", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", "localhost:8080", "listen address")
+		workers    = fs.Int("workers", 0, "concurrent run budget (0 = GOMAXPROCS)")
+		runWorkers = fs.Int("run-workers", 0, "phase worker goroutines per run (0 = GOMAXPROCS; never affects trajectories)")
+		dataDir    = fs.String("data", "", "data directory for the run manifest and checkpoints (empty = in-memory, no restart story)")
+		ckptEvery  = fs.Int64("checkpoint-every", 0, "default periodic checkpoint period in rounds for rbb runs (0 = only on shutdown, on demand, and at completion)")
+		maxQueue   = fs.Int("max-queue", 0, "maximum queued runs before submissions get 503 (0 = 256)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *ckptEvery < 0 {
+		return fmt.Errorf("need checkpoint-every >= 0, got %d", *ckptEvery)
+	}
+
+	s, err := serve.New(serve.Options{
+		Workers:         *workers,
+		RunWorkers:      *runWorkers,
+		MaxQueue:        *maxQueue,
+		Dir:             *dataDir,
+		CheckpointEvery: *ckptEvery,
+	})
+	if err != nil {
+		return err
+	}
+
+	// The same snapshot-and-stop context rbb-sim uses: the first signal
+	// starts the graceful path, a second one kills the process the
+	// OS-default way.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	log.Printf("rbb-serve: listening on %s (workers=%d data=%q)", ln.Addr(), *workers, *dataDir)
+
+	select {
+	case err := <-serveErr:
+		s.Shutdown()
+		return err
+	case <-ctx.Done():
+	}
+	// Restore default signal disposition immediately so a second SIGTERM/
+	// Ctrl-C during a slow shutdown kills the process the OS way.
+	stop()
+	log.Printf("rbb-serve: signal received; snapshotting in-flight runs")
+	// Drain the scheduler first: each in-flight run snapshots and stops at
+	// its next round boundary, which also ends its stream connections —
+	// only then can the HTTP server shut down without waiting them out.
+	// Streams of still-queued runs never end on their own; the timeout
+	// cuts those.
+	s.Shutdown()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("rbb-serve: http shutdown: %v", err)
+	}
+	log.Printf("rbb-serve: stopped")
+	return nil
+}

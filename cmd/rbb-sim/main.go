@@ -17,6 +17,7 @@
 // Examples:
 //
 //	rbb-sim -n 1024 -rounds 10000
+//	rbb-sim -n 65536 -rounds 500 -shards 4 -quantiles 0.5,0.99 -json
 //	rbb-sim -n 4096 -init all-in-one -rounds 20000 -report-every 1000
 //	rbb-sim -n 16777216 -rounds 500 -shards 64 -quantiles 0.5,0.9,0.99
 //	rbb-sim -n 16777216 -rounds 5000 -shards 64 -checkpoint run.ckpt -checkpoint-every 500
@@ -28,6 +29,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -91,6 +94,7 @@ func run(args []string, out io.Writer) error {
 		ckptPath  = fs.String("checkpoint", "", "write whole-run checkpoints to this file (original process only): every -checkpoint-every rounds, on SIGTERM/SIGINT, and at completion")
 		ckptEvery = fs.Int64("checkpoint-every", 0, "rounds between periodic checkpoints (0 = only on signal and at completion; requires -checkpoint)")
 		resume    = fs.String("resume", "", "resume from a checkpoint file; n, m, seed, shards and quantiles come from the file")
+		jsonOut   = fs.Bool("json", false, "print only the final observer summary as one JSON line (rounds, window max, empty-bin fractions, quantiles) — the format served by rbb-serve")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -120,7 +124,7 @@ func run(args []string, out io.Writer) error {
 		if conflict != "" {
 			return fmt.Errorf("-resume takes -%s from the checkpoint file; drop the flag", conflict)
 		}
-		return runResumed(out, *resume, *rounds, *every, *ckptPath, *ckptEvery)
+		return runResumed(out, *resume, *rounds, *every, *ckptPath, *ckptEvery, *jsonOut)
 	}
 	if *ckptPath != "" && *process != "original" {
 		return fmt.Errorf("-checkpoint supports only -process original (got %q)", *process)
@@ -190,15 +194,17 @@ func run(args []string, out io.Writer) error {
 	// not the worker count, which varies by machine and must not break the
 	// byte-identical-stdout determinism check.
 	threshold := config.LegitimateThreshold(*n, config.Beta)
-	shardInfo := ""
-	switch p := s.(type) {
-	case *shard.Process:
-		shardInfo = fmt.Sprintf(" shards=%d", p.Engine().Shards())
-	case *shard.Tetris:
-		shardInfo = fmt.Sprintf(" shards=%d", p.Engine().Shards())
+	if !*jsonOut {
+		shardInfo := ""
+		switch p := s.(type) {
+		case *shard.Process:
+			shardInfo = fmt.Sprintf(" shards=%d", p.Engine().Shards())
+		case *shard.Tetris:
+			shardInfo = fmt.Sprintf(" shards=%d", p.Engine().Shards())
+		}
+		fmt.Fprintf(out, "# %s process, n=%d m=%d init=%s seed=%d%s (legitimate: max load <= %d)\n",
+			*process, *n, balls, *initName, *seed, shardInfo, threshold)
 	}
-	fmt.Fprintf(out, "# %s process, n=%d m=%d init=%s seed=%d%s (legitimate: max load <= %d)\n",
-		*process, *n, balls, *initName, *seed, shardInfo, threshold)
 
 	if *ckptPath != "" {
 		// Checkpointed runs always carry a pipeline (window max, empty
@@ -209,9 +215,17 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		pol := checkpoint.Policy{Path: *ckptPath, Every: *ckptEvery, Seed: *seed, Pipeline: pipe}
-		return runCheckpointed(out, s.(*shard.Process), pipe, pol, *rounds, *every)
+		return runCheckpointed(out, s.(*shard.Process), pipe, pol, *rounds, *every, *jsonOut)
 	}
 
+	if *jsonOut {
+		pipe, err := shard.NewPipeline(probs)
+		if err != nil {
+			return err
+		}
+		engine.Run(s, *rounds, pipe)
+		return printSummary(out, pipe)
+	}
 	interval := reportInterval(*every, *rounds)
 	fmt.Fprintf(out, "%10s  %8s  %11s  %10s\n", "round", "max load", "empty frac", "legitimate")
 	report := reporter(out, s, threshold)
@@ -249,9 +263,17 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// printSummary emits the pipeline summary as one JSON line — the same
+// encoding rbb-serve returns from its result endpoint, so the CI
+// serve-smoke job can diff the two directly.
+func printSummary(out io.Writer, pipe *shard.Pipeline) error {
+	enc := json.NewEncoder(out)
+	return enc.Encode(pipe.Summary())
+}
+
 // runResumed rebuilds a run from a checkpoint file and continues it to the
 // target round.
-func runResumed(out io.Writer, path string, target, every int64, ckptPath string, ckptEvery int64) error {
+func runResumed(out io.Writer, path string, target, every int64, ckptPath string, ckptEvery int64, jsonOut bool) error {
 	snap, err := checkpoint.ReadFile(path)
 	if err != nil {
 		return err
@@ -271,50 +293,54 @@ func runResumed(out io.Writer, path string, target, every int64, ckptPath string
 			return err
 		}
 	}
-	threshold := config.LegitimateThreshold(p.N(), config.Beta)
-	fmt.Fprintf(out, "# original process resumed at round %d, n=%d m=%d seed=%d shards=%d (legitimate: max load <= %d)\n",
-		p.Round(), p.N(), p.Balls(), snap.Seed, p.Engine().Shards(), threshold)
+	if !jsonOut {
+		threshold := config.LegitimateThreshold(p.N(), config.Beta)
+		fmt.Fprintf(out, "# original process resumed at round %d, n=%d m=%d seed=%d shards=%d (legitimate: max load <= %d)\n",
+			p.Round(), p.N(), p.Balls(), snap.Seed, p.Engine().Shards(), threshold)
+	}
 	pol := checkpoint.Policy{Path: ckptPath, Every: ckptEvery, Seed: snap.Seed, Pipeline: pipe}
-	return runCheckpointed(out, p, pipe, pol, target, every)
+	return runCheckpointed(out, p, pipe, pol, target, every, jsonOut)
 }
 
 // runCheckpointed drives a sharded original-process run under a checkpoint
-// policy, wiring SIGTERM/SIGINT into the snapshot-and-stop hook when the
-// policy writes anywhere.
-func runCheckpointed(out io.Writer, p *shard.Process, pipe *shard.Pipeline, pol checkpoint.Policy, target, every int64) error {
+// policy. When the policy writes anywhere, SIGTERM/SIGINT cancel the run
+// context and checkpoint.Run snapshots and stops at the next round
+// boundary — the same shared path rbb-serve uses for its shutdown.
+func runCheckpointed(out io.Writer, p *shard.Process, pipe *shard.Pipeline, pol checkpoint.Policy, target, every int64, jsonOut bool) error {
+	ctx := context.Background()
 	if pol.Path != "" {
-		sigCh := make(chan os.Signal, 2)
-		signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
-		defer signal.Stop(sigCh)
-		interrupt := make(chan struct{})
-		done := make(chan struct{})
-		defer close(done)
-		go func() {
-			select {
-			case <-sigCh:
-				close(interrupt)
-			case <-done:
-			}
-		}()
-		pol.Interrupt = interrupt
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(ctx, syscall.SIGTERM, os.Interrupt)
+		defer stop()
 	}
-	threshold := config.LegitimateThreshold(p.N(), config.Beta)
-	interval := reportInterval(every, target)
-	fmt.Fprintf(out, "%10s  %8s  %11s  %10s\n", "round", "max load", "empty frac", "legitimate")
-	report := reporter(out, p, threshold)
-	report()
-	obs := engine.ObserverFunc(func(st engine.Stepper) {
-		if st.Round()%interval == 0 {
-			report()
-		}
-	})
-	round, interrupted, err := checkpoint.Run(p, target, pol, obs)
+	var obs []engine.Observer
+	if !jsonOut {
+		threshold := config.LegitimateThreshold(p.N(), config.Beta)
+		interval := reportInterval(every, target)
+		fmt.Fprintf(out, "%10s  %8s  %11s  %10s\n", "round", "max load", "empty frac", "legitimate")
+		report := reporter(out, p, threshold)
+		report()
+		obs = append(obs, engine.ObserverFunc(func(st engine.Stepper) {
+			if st.Round()%interval == 0 {
+				report()
+			}
+		}))
+	}
+	round, interrupted, err := checkpoint.Run(ctx, p, target, pol, obs...)
 	if err != nil {
 		return err
 	}
 	if interrupted {
-		fmt.Fprintf(out, "\ninterrupted: checkpoint written to %s at round %d\n", pol.Path, round)
+		// -json keeps stdout machine-parseable: no human-readable notice,
+		// and no summary either (the run did not reach its target; the
+		// checkpoint on disk is the resumable artifact).
+		if !jsonOut {
+			fmt.Fprintf(out, "\ninterrupted: checkpoint written to %s at round %d\n", pol.Path, round)
+		}
 		return nil
+	}
+	if jsonOut {
+		return printSummary(out, pipe)
 	}
 	fmt.Fprintf(out, "\nwindow max load: %d (%.2f x ln n)\n", pipe.WindowMax(), float64(pipe.WindowMax())/math.Log(float64(p.N())))
 	if q := pipe.String(); q != "" {

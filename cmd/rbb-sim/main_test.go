@@ -2,12 +2,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/checkpoint"
+	"repro/internal/shard"
 )
 
 func TestRunOriginal(t *testing.T) {
@@ -83,6 +85,37 @@ func TestRunShardsAndQuantiles(t *testing.T) {
 	}
 	if sb2.String() != out {
 		t.Error("same flags, different output — shard determinism broken")
+	}
+}
+
+// TestRunJSON: -json prints exactly one JSON summary line (no header, no
+// table) that decodes to a shard.Summary, identically across repeats, for
+// both a plain and a checkpointed run.
+func TestRunJSON(t *testing.T) {
+	args := []string{"-n", "256", "-rounds", "200", "-shards", "2", "-quantiles", "0.5,0.99", "-seed", "4", "-json"}
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "\n") != 1 || !strings.HasPrefix(out, "{") {
+		t.Fatalf("-json output is not one JSON line:\n%s", out)
+	}
+	var sum shard.Summary
+	if err := json.Unmarshal([]byte(out), &sum); err != nil {
+		t.Fatalf("bad JSON %q: %v", out, err)
+	}
+	if sum.Rounds != 200 || sum.WindowMax < 1 || len(sum.Quantiles) != 2 {
+		t.Fatalf("implausible summary: %+v", sum)
+	}
+	// A checkpointed run with the same law prints the same summary.
+	ckpt := filepath.Join(t.TempDir(), "j.ckpt")
+	var sb2 strings.Builder
+	if err := run(append(args, "-checkpoint", ckpt), &sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Fatalf("checkpointed -json output differs:\n%s\n%s", sb2.String(), out)
 	}
 }
 

@@ -2,6 +2,7 @@ package checkpoint
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/config"
+	"repro/internal/engine"
 	"repro/internal/shard"
 )
 
@@ -210,11 +212,11 @@ func TestRunResumeEquivalence(t *testing.T) {
 		}
 
 		p, pipe := newRun()
-		if _, _, err := Run(p, target, Policy{Path: fullPath, Seed: 5, Pipeline: pipe}); err != nil {
+		if _, _, err := Run(context.Background(), p, target, Policy{Path: fullPath, Seed: 5, Pipeline: pipe}); err != nil {
 			t.Fatal(err)
 		}
 		p, pipe = newRun()
-		if _, _, err := Run(p, cut, Policy{Path: halfPath, Seed: 5, Pipeline: pipe}); err != nil {
+		if _, _, err := Run(context.Background(), p, cut, Policy{Path: halfPath, Seed: 5, Pipeline: pipe}); err != nil {
 			t.Fatal(err)
 		}
 		snap, err := ReadFile(halfPath)
@@ -228,7 +230,7 @@ func TestRunResumeEquivalence(t *testing.T) {
 		if rp.Round() != cut || rpipe == nil {
 			t.Fatalf("S=%d: resumed at round %d, pipeline %v", shards, rp.Round(), rpipe)
 		}
-		if _, _, err := Run(rp, target, Policy{Path: resPath, Seed: snap.Seed, Pipeline: rpipe}); err != nil {
+		if _, _, err := Run(context.Background(), rp, target, Policy{Path: resPath, Seed: snap.Seed, Pipeline: rpipe}); err != nil {
 			t.Fatal(err)
 		}
 		full, err := os.ReadFile(fullPath)
@@ -256,7 +258,7 @@ func TestRunPeriodicAndInterrupt(t *testing.T) {
 	}
 	// Periodic: run 10 rounds with Every=4; the file at return is the final
 	// snapshot (round 10).
-	if _, _, err := Run(p, 10, Policy{Path: path, Every: 4, Seed: 9}); err != nil {
+	if _, _, err := Run(context.Background(), p, 10, Policy{Path: path, Every: 4, Seed: 9}); err != nil {
 		t.Fatal(err)
 	}
 	snap, err := ReadFile(path)
@@ -269,10 +271,10 @@ func TestRunPeriodicAndInterrupt(t *testing.T) {
 	if snap.Observer != nil {
 		t.Fatal("observer section present without a pipeline")
 	}
-	// Interrupt: an already-fired channel stops the run after one round.
-	interrupt := make(chan struct{})
-	close(interrupt)
-	round, stopped, err := Run(p, 1000, Policy{Path: path, Seed: 9, Interrupt: interrupt})
+	// Interrupt: an already-cancelled context stops the run after one round.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	round, stopped, err := Run(ctx, p, 1000, Policy{Path: path, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,6 +304,46 @@ func TestRunPeriodicAndInterrupt(t *testing.T) {
 		if got[u] != want[u] {
 			t.Fatalf("bin %d: %d vs %d", u, got[u], want[u])
 		}
+	}
+}
+
+// TestRunTrigger: a value on Policy.Trigger writes an on-demand snapshot
+// at the next round boundary without stopping the run.
+func TestRunTrigger(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.ckpt")
+	p, err := shard.NewProcess(config.OnePerBin(256), 3, shard.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trigger := make(chan struct{}, 1)
+	trigger <- struct{}{}
+	// The trigger is consumed after round 1; capture the file it produced
+	// before the final write overwrites it.
+	var triggered int64 = -1
+	probe := engine.ObserverFunc(func(engine.Stepper) {
+		if triggered < 0 {
+			if snap, err := ReadFile(path); err == nil {
+				triggered = snap.Engine.Round
+			}
+		}
+	})
+	round, stopped, err := Run(context.Background(), p, 5, Policy{Path: path, Seed: 3, Trigger: trigger}, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stopped || round != 5 {
+		t.Fatalf("stopped=%v round=%d, want false, 5", stopped, round)
+	}
+	if triggered != 1 {
+		t.Fatalf("triggered snapshot at round %d, want 1", triggered)
+	}
+	snap, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Engine.Round != 5 {
+		t.Fatalf("final snapshot at round %d, want 5", snap.Engine.Round)
 	}
 }
 

@@ -1,6 +1,7 @@
 package checkpoint
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/engine"
@@ -11,11 +12,11 @@ import (
 type Policy struct {
 	// Path is the checkpoint destination, atomically replaced on every
 	// write. Empty disables checkpointing (Run degenerates to a plain
-	// observe loop).
+	// observe loop, still cancellable through its context).
 	Path string
 	// Every is the period of the periodic hook: a snapshot is written after
 	// every Every-th completed round. 0 writes only the final (and
-	// interrupt-triggered) snapshot.
+	// interrupt- or trigger-driven) snapshots.
 	Every int64
 	// Seed is the run's master seed, recorded in the snapshot header for
 	// provenance.
@@ -24,10 +25,18 @@ type Policy struct {
 	// accumulator state rides inside every snapshot, so resumed summaries
 	// cover the whole run, not just the post-resume suffix.
 	Pipeline *shard.Pipeline
-	// Interrupt, when non-nil, is the kill hook: once it is closed (or a
-	// value arrives), Run writes a snapshot at the next round boundary and
-	// returns early. cmd/rbb-sim wires SIGTERM/SIGINT into it.
-	Interrupt <-chan struct{}
+	// Trigger, when non-nil, requests an on-demand snapshot: each value
+	// received causes a write at the next round boundary without stopping
+	// the run. The service frontend wires its checkpoint-now endpoint into
+	// it.
+	Trigger <-chan struct{}
+	// InterruptSnapshot, if non-nil, is consulted when ctx is cancelled:
+	// returning false skips the stop snapshot (the run still stops). The
+	// service frontend uses it to avoid writing — and immediately
+	// deleting — a full snapshot when the stop is a client cancellation
+	// rather than a shutdown; at n = 10⁸ that is ~0.5 GB of pointless
+	// file I/O per cancel. nil means always snapshot.
+	InterruptSnapshot func() bool
 }
 
 // Run drives p to round target under pol, notifying obs (and pol.Pipeline)
@@ -36,14 +45,28 @@ type Policy struct {
 // every snapshot taken between Steps is a consistent whole-run cut — no
 // extra synchronization protocol exists, by construction.
 //
+// Cancelling ctx is the snapshot-and-stop hook: Run writes a snapshot at
+// the next round boundary and returns early with stopped = true. Both
+// cmd/rbb-sim and rbb-serve share this path — the CLI derives ctx from
+// SIGTERM/SIGINT via signal.NotifyContext, the server from its shutdown
+// and per-run cancellation contexts — so there is exactly one
+// snapshot-and-stop implementation.
+//
 // Run returns the number of completed rounds and whether it stopped early
-// on pol.Interrupt. When pol.Path is set, a snapshot is on disk at return:
-// written every pol.Every rounds, at interruption, and at normal
-// completion.
-func Run(p *shard.Process, target int64, pol Policy, obs ...engine.Observer) (int64, bool, error) {
+// on ctx. When pol.Path is set, a snapshot is on disk at return: written
+// every pol.Every rounds, on each pol.Trigger receive, at cancellation,
+// and at normal completion.
+func Run(ctx context.Context, p *shard.Process, target int64, pol Policy, obs ...engine.Observer) (int64, bool, error) {
+	// The pipeline observes before the caller's observers, so a caller
+	// observer reading the pipeline (the server's stream events do) sees
+	// the accumulators already folded over the round it is looking at.
 	if pol.Pipeline != nil {
-		obs = append(obs, pol.Pipeline)
+		obs = append([]engine.Observer{pol.Pipeline}, obs...)
 	}
+	// written remembers the round of the last successful write, so a
+	// trigger snapshot landing on a periodic boundary or the final round
+	// does not produce two identical back-to-back full writes.
+	written := int64(-1)
 	write := func() error {
 		if pol.Path == "" {
 			return nil
@@ -56,29 +79,47 @@ func Run(p *shard.Process, target int64, pol Policy, obs ...engine.Observer) (in
 		if pol.Pipeline != nil {
 			snap.Observer = pol.Pipeline.Snapshot()
 		}
-		return WriteFile(pol.Path, snap)
+		if err := WriteFile(pol.Path, snap); err != nil {
+			return err
+		}
+		written = p.Round()
+		return nil
 	}
 	for p.Round() < target {
 		p.Step()
 		for _, o := range obs {
 			o.Observe(p)
 		}
+		// Cancellation wins over a simultaneous trigger: both cases write,
+		// but only cancellation stops, so checking it first keeps shutdown
+		// latency one round.
 		select {
-		case <-pol.Interrupt:
-			if err := write(); err != nil {
-				return p.Round(), true, fmt.Errorf("interrupt snapshot: %w", err)
+		case <-ctx.Done():
+			if pol.InterruptSnapshot == nil || pol.InterruptSnapshot() {
+				if err := write(); err != nil {
+					return p.Round(), true, fmt.Errorf("interrupt snapshot: %w", err)
+				}
 			}
 			return p.Round(), true, nil
 		default:
 		}
-		if pol.Every > 0 && p.Round()%pol.Every == 0 && p.Round() < target {
+		select {
+		case <-pol.Trigger:
+			if err := write(); err != nil {
+				return p.Round(), false, fmt.Errorf("triggered snapshot: %w", err)
+			}
+		default:
+		}
+		if pol.Every > 0 && p.Round()%pol.Every == 0 && p.Round() < target && written != p.Round() {
 			if err := write(); err != nil {
 				return p.Round(), false, fmt.Errorf("periodic snapshot: %w", err)
 			}
 		}
 	}
-	if err := write(); err != nil {
-		return p.Round(), false, fmt.Errorf("final snapshot: %w", err)
+	if written != p.Round() {
+		if err := write(); err != nil {
+			return p.Round(), false, fmt.Errorf("final snapshot: %w", err)
+		}
 	}
 	return p.Round(), false, nil
 }

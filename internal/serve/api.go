@@ -1,0 +1,217 @@
+// Package serve is the long-running service frontend: an HTTP/JSON layer
+// that multiplexes many concurrent sharded simulations over a bounded
+// worker budget — the heavy-traffic path of the ROADMAP's north star.
+//
+// # API
+//
+//	POST   /v1/runs                 submit a run (Spec); 202 + RunInfo
+//	GET    /v1/runs                 list all runs (newest last)
+//	GET    /v1/runs/{id}            one run's RunInfo
+//	GET    /v1/runs/{id}/result     final Summary; 409 until the run is done
+//	GET    /v1/runs/{id}/stream     live observer events, NDJSON (or SSE
+//	                                with Accept: text/event-stream)
+//	POST   /v1/runs/{id}/cancel     cancel (DELETE /v1/runs/{id} is an alias)
+//	POST   /v1/runs/{id}/checkpoint snapshot a running rbb run on demand
+//	GET    /healthz                 liveness + scheduler counters
+//
+// # Determinism
+//
+// A run is the same pure function of (seed, n, shards) the CLI computes:
+// the server builds the initial configuration and the sharded process
+// exactly as cmd/rbb-sim does, so a run's result — and its byte-exact
+// Summary encoding — matches `rbb-sim -json` for the same spec, no matter
+// how many other runs share the scheduler. The worker budget and the
+// per-run phase workers change wall-clock only.
+//
+// # Crash and restart story
+//
+// With a data directory configured, every state transition persists to a
+// JSON manifest and rbb runs write periodic binary checkpoints
+// (internal/checkpoint). On shutdown the scheduler cancels the run
+// contexts; checkpoint.Run snapshots each in-flight rbb run at its next
+// round boundary and the run returns to the queue. A restarted server
+// re-enqueues queued and interrupted runs, resuming rbb runs from their
+// checkpoints — the continued trajectory is byte-identical to an
+// uninterrupted one. Processes without snapshot support (tetris, batches)
+// restart from round zero, which reproduces the same trajectory anyway.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"repro/internal/config"
+	"repro/internal/shard"
+)
+
+// Process kinds accepted by Spec.Process.
+const (
+	// ProcessRBB is the paper's repeated balls-into-bins process
+	// (checkpointable: periodic snapshots, snapshot-and-stop, resume).
+	ProcessRBB = "rbb"
+	// ProcessTetris is the leaky-bins process with a deterministic ⌈λn⌉
+	// batch per round.
+	ProcessTetris = "tetris"
+	// ProcessBatches is the leaky-bins process with Binomial(n, λ) batches
+	// — the Berenbrink et al. (2016) batched-arrival model.
+	ProcessBatches = "batches"
+)
+
+// Spec is a run submission. The zero value of every optional field selects
+// the documented default; Normalize makes the defaults explicit so the
+// stored spec is self-describing.
+type Spec struct {
+	// Process is the process kind: rbb (default), tetris, or batches.
+	Process string `json:"process,omitempty"`
+	// Seed is the master seed; shard s draws from rng.NewStream(Seed, s).
+	Seed uint64 `json:"seed"`
+	// N is the number of bins (required, ≥ 1).
+	N int `json:"n"`
+	// M is the number of balls for rbb (default N; ignored by tetris and
+	// batches, whose ball count is dynamic).
+	M int `json:"m,omitempty"`
+	// Rounds is the target round count (required, ≥ 1).
+	Rounds int64 `json:"rounds"`
+	// Shards is the shard count S, part of the random law's key (default
+	// 1, so results reproduce across machines unless the client opts into
+	// a wider decomposition).
+	Shards int `json:"shards,omitempty"`
+	// Init names the initial configuration family (default one-per-bin).
+	Init string `json:"init,omitempty"`
+	// Lambda is the per-bin arrival rate for tetris and batches (default
+	// 0.75, the paper's stable regime).
+	Lambda float64 `json:"lambda,omitempty"`
+	// Quantiles are the max-load quantile probabilities tracked by the
+	// run's P² sketches, each in (0, 1).
+	Quantiles []float64 `json:"quantiles,omitempty"`
+	// CheckpointEvery is the periodic snapshot period in rounds for rbb
+	// runs (0 = the server's default; snapshots are also written on
+	// shutdown and at completion). Ignored without a data directory.
+	CheckpointEvery int64 `json:"checkpoint_every,omitempty"`
+	// StreamEvery is the round period of stream events (0 = auto,
+	// ~256 events per run).
+	StreamEvery int64 `json:"stream_every,omitempty"`
+}
+
+// Normalize fills defaults in place and validates the spec.
+func (sp *Spec) Normalize(defaultCheckpointEvery int64) error {
+	if sp.Process == "" {
+		sp.Process = ProcessRBB
+	}
+	switch sp.Process {
+	case ProcessRBB, ProcessTetris, ProcessBatches:
+	default:
+		return fmt.Errorf("unknown process %q (want %s|%s|%s)", sp.Process, ProcessRBB, ProcessTetris, ProcessBatches)
+	}
+	if sp.N < 1 {
+		return fmt.Errorf("need n >= 1, got %d", sp.N)
+	}
+	if sp.Rounds < 1 {
+		return fmt.Errorf("need rounds >= 1, got %d", sp.Rounds)
+	}
+	if sp.Process == ProcessRBB {
+		if sp.M == 0 {
+			sp.M = sp.N
+		}
+		if sp.M < 0 {
+			return fmt.Errorf("need m >= 0, got %d", sp.M)
+		}
+		if sp.Lambda != 0 {
+			return fmt.Errorf("lambda applies only to the tetris and batches processes")
+		}
+	} else {
+		if sp.M != 0 {
+			return fmt.Errorf("m applies only to the rbb process")
+		}
+		// A JSON 0 is indistinguishable from an absent field, so 0 means
+		// "default" rather than an error, matching rbb-sim's -lambda flag.
+		if sp.Lambda == 0 {
+			sp.Lambda = 0.75
+		}
+		if sp.Lambda < 0 || sp.Lambda > 1 || math.IsNaN(sp.Lambda) {
+			return fmt.Errorf("need lambda in (0, 1], got %v", sp.Lambda)
+		}
+	}
+	if sp.Shards == 0 {
+		sp.Shards = 1
+	}
+	if sp.Shards < 1 {
+		return fmt.Errorf("need shards >= 1, got %d", sp.Shards)
+	}
+	if sp.Shards > sp.N {
+		return fmt.Errorf("need shards <= n, got %d > %d", sp.Shards, sp.N)
+	}
+	if sp.Init == "" {
+		sp.Init = string(config.GenOnePerBin)
+	}
+	if !slices.Contains(config.Generators(), config.Generator(sp.Init)) {
+		return fmt.Errorf("unknown init %q", sp.Init)
+	}
+	for _, q := range sp.Quantiles {
+		if math.IsNaN(q) || q <= 0 || q >= 1 {
+			return fmt.Errorf("quantile %v outside (0, 1)", q)
+		}
+	}
+	if sp.CheckpointEvery < 0 {
+		return fmt.Errorf("need checkpoint_every >= 0, got %d", sp.CheckpointEvery)
+	}
+	if sp.CheckpointEvery == 0 {
+		sp.CheckpointEvery = defaultCheckpointEvery
+	}
+	if sp.StreamEvery < 0 {
+		return fmt.Errorf("need stream_every >= 0, got %d", sp.StreamEvery)
+	}
+	if sp.StreamEvery == 0 {
+		sp.StreamEvery = sp.Rounds / 256
+		if sp.StreamEvery < 1 {
+			sp.StreamEvery = 1
+		}
+	}
+	return nil
+}
+
+// Status is a run's scheduler state.
+type Status string
+
+const (
+	// StatusQueued: waiting for a worker slot (fresh, or interrupted by a
+	// shutdown and waiting to be resumed).
+	StatusQueued Status = "queued"
+	// StatusRunning: a worker is stepping the process.
+	StatusRunning Status = "running"
+	// StatusDone: completed; Summary holds the result.
+	StatusDone Status = "done"
+	// StatusFailed: aborted with an error (recorded in Error).
+	StatusFailed Status = "failed"
+	// StatusCancelled: cancelled by the client.
+	StatusCancelled Status = "cancelled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// RunInfo is the public state of one run.
+type RunInfo struct {
+	ID     string `json:"id"`
+	Spec   Spec   `json:"spec"`
+	Status Status `json:"status"`
+	// Round is the last known completed round (refreshed on every stream
+	// event, at interruption, and at completion).
+	Round int64 `json:"round"`
+	// Error is the failure cause when Status is failed.
+	Error string `json:"error,omitempty"`
+	// Summary is the observer digest, set once Status is done.
+	Summary *shard.Summary `json:"summary,omitempty"`
+}
+
+// Event is one streaming observer sample, emitted every StreamEvery rounds
+// and at the final round.
+type Event struct {
+	Round     int64   `json:"round"`
+	MaxLoad   int32   `json:"max_load"`
+	EmptyFrac float64 `json:"empty_frac"`
+	WindowMax int32   `json:"window_max"`
+}

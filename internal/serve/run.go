@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+)
+
+// run is one tracked simulation: the public RunInfo, the cancellation
+// plumbing, the on-demand checkpoint trigger, and the stream fan-out hub.
+type run struct {
+	mu sync.Mutex
+
+	info      RunInfo
+	cancel    context.CancelFunc // set while running
+	cancelled bool               // client requested cancellation
+
+	// trigger carries on-demand checkpoint requests into checkpoint.Run
+	// (capacity 1: requests arriving while one is pending coalesce).
+	trigger chan struct{}
+
+	// subs are the live stream subscribers. Events are sent best-effort
+	// (a slow subscriber drops samples, never blocks the run); every
+	// channel is closed exactly once when the run leaves the worker, and
+	// subscribers then read the terminal state from the registry.
+	subs map[chan []byte]struct{}
+}
+
+func newRun(id string, spec Spec) *run {
+	return &run{
+		info:    RunInfo{ID: id, Spec: spec, Status: StatusQueued},
+		trigger: make(chan struct{}, 1),
+		subs:    make(map[chan []byte]struct{}),
+	}
+}
+
+// Info returns a copy of the public state.
+func (r *run) Info() RunInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.info
+}
+
+// setRunning transitions to running and installs the cancel hook. It
+// reports false when the run was cancelled while queued (the worker must
+// skip it).
+func (r *run) setRunning(cancel context.CancelFunc) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cancelled {
+		return false
+	}
+	r.info.Status = StatusRunning
+	r.cancel = cancel
+	return true
+}
+
+// requestCancel marks the run cancelled and fires the in-flight context if
+// any. It reports whether the run was still cancellable (not terminal).
+func (r *run) requestCancel() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.info.Status.Terminal() {
+		return false
+	}
+	r.cancelled = true
+	if r.cancel != nil {
+		r.cancel()
+	}
+	return true
+}
+
+// wasCancelled reports whether a client cancellation is pending.
+func (r *run) wasCancelled() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cancelled
+}
+
+// finish applies the terminal (or re-queued) state and closes every
+// subscriber channel so stream handlers move on to the terminal read. The
+// cancel hook is dropped; a re-queued run gets a fresh one when it next
+// starts.
+func (r *run) finish(mutate func(*RunInfo)) {
+	r.mu.Lock()
+	mutate(&r.info)
+	r.cancel = nil
+	subs := r.subs
+	r.subs = make(map[chan []byte]struct{})
+	r.mu.Unlock()
+	for ch := range subs {
+		close(ch)
+	}
+}
+
+// subscribe registers a stream channel, or returns nil when the run is
+// already terminal (the handler then renders the terminal state directly).
+func (r *run) subscribe() chan []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.info.Status.Terminal() {
+		return nil
+	}
+	ch := make(chan []byte, 64)
+	r.subs[ch] = struct{}{}
+	return ch
+}
+
+// unsubscribe removes a channel registered with subscribe. The caller must
+// keep draining ch until it is closed or unsubscribe returns, whichever
+// comes first (publish never blocks, so a buffered leftover is the worst
+// case).
+func (r *run) unsubscribe(ch chan []byte) {
+	r.mu.Lock()
+	if _, ok := r.subs[ch]; ok {
+		delete(r.subs, ch)
+		close(ch)
+	}
+	r.mu.Unlock()
+}
+
+// publish marshals ev once and fans it out to every subscriber,
+// best-effort, and refreshes the run's last known round.
+func (r *run) publish(ev Event) {
+	blob, err := json.Marshal(ev)
+	if err != nil {
+		return // Event has no unmarshalable fields; unreachable.
+	}
+	r.mu.Lock()
+	r.info.Round = ev.Round
+	for ch := range r.subs {
+		select {
+		case ch <- blob:
+		default: // slow subscriber: drop the sample, never the run
+		}
+	}
+	r.mu.Unlock()
+}
+
+// requestCheckpoint forwards an on-demand snapshot request to the run loop
+// if the run is currently running an rbb process. It reports whether the
+// request was accepted (false: not running, or not checkpointable).
+func (r *run) requestCheckpoint() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.info.Status != StatusRunning || r.info.Spec.Process != ProcessRBB {
+		return false
+	}
+	select {
+	case r.trigger <- struct{}{}:
+	default: // one already pending; coalesce
+	}
+	return true
+}

@@ -1,0 +1,506 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/checkpoint"
+	"repro/internal/config"
+	"repro/internal/engine"
+	"repro/internal/rng"
+	"repro/internal/shard"
+	"repro/internal/tetris"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the scheduler budget: the number of runs stepped
+	// concurrently (default GOMAXPROCS). Runs beyond it queue.
+	Workers int
+	// RunWorkers is the per-run phase worker count passed to the sharded
+	// engine (shard.Options.Workers; default GOMAXPROCS, clamped to the
+	// run's shard count). It never affects trajectories — with several
+	// concurrent runs, 1 avoids oversubscribing the cores.
+	RunWorkers int
+	// MaxQueue bounds the number of queued runs (default 256); submissions
+	// beyond it are rejected with 503.
+	MaxQueue int
+	// Dir is the data directory for the manifest and per-run checkpoints.
+	// Empty runs the server in memory: no persistence, no restart story.
+	Dir string
+	// CheckpointEvery is the default periodic snapshot period in rounds
+	// for rbb runs whose spec does not set one (default 0: snapshots only
+	// on shutdown, on demand, and at completion).
+	CheckpointEvery int64
+}
+
+// Server is the run service: a registry of runs, a bounded scheduler
+// multiplexing them over Workers slots, and the HTTP layer (Handler).
+// Create with New, stop with Shutdown.
+type Server struct {
+	opts  Options
+	store *store // nil in memory-only mode
+
+	mu     sync.Mutex
+	runs   map[string]*run
+	order  []string // submission order, for listing and the manifest
+	queue  []string // FIFO of queued run ids
+	nextID int
+
+	persistMu sync.Mutex // serializes manifest writes
+
+	stopCtx context.Context
+	stop    context.CancelFunc
+	wake    chan struct{} // scheduler pokes, capacity Workers
+	wg      sync.WaitGroup
+}
+
+// New builds a server, restores any persisted state from opts.Dir, and
+// starts the worker pool. Queued and interrupted runs from a previous
+// process resume immediately — rbb runs from their checkpoints,
+// byte-identically.
+func New(opts Options) (*Server, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxQueue <= 0 {
+		opts.MaxQueue = 256
+	}
+	s := &Server{
+		opts: opts,
+		runs: make(map[string]*run),
+		wake: make(chan struct{}, opts.Workers),
+	}
+	s.stopCtx, s.stop = context.WithCancel(context.Background())
+	if opts.Dir != "" {
+		st, err := newStore(opts.Dir)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		if err := s.restore(); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// restore loads the manifest and re-enqueues unfinished runs. A run that
+// was mid-flight when the previous process died keeps its recorded round
+// for display; the authoritative resume point is its checkpoint (absent
+// one, the run restarts from round zero — same trajectory either way).
+func (s *Server) restore() error {
+	m, err := s.store.LoadManifest()
+	if err != nil {
+		return err
+	}
+	s.nextID = m.NextID
+	for _, info := range m.Runs {
+		r := newRun(info.ID, info.Spec)
+		r.info = info
+		if !info.Status.Terminal() {
+			r.info.Status = StatusQueued
+			resumable := false
+			if info.Spec.Process == ProcessRBB {
+				if resumable, err = s.store.HasCheckpoint(info.ID); err != nil {
+					return err
+				}
+			}
+			if !resumable {
+				r.info.Round = 0
+			}
+			s.queue = append(s.queue, info.ID)
+		}
+		s.runs[info.ID] = r
+		s.order = append(s.order, info.ID)
+	}
+	return nil
+}
+
+// Submit validates and enqueues a run, returning its public state.
+func (s *Server) Submit(spec Spec) (RunInfo, error) {
+	if err := spec.Normalize(s.opts.CheckpointEvery); err != nil {
+		return RunInfo{}, &badRequestError{err}
+	}
+	s.mu.Lock()
+	if len(s.queue) >= s.opts.MaxQueue {
+		s.mu.Unlock()
+		return RunInfo{}, errQueueFull
+	}
+	s.nextID++
+	id := fmt.Sprintf("r%06d", s.nextID)
+	r := newRun(id, spec)
+	s.runs[id] = r
+	s.order = append(s.order, id)
+	s.queue = append(s.queue, id)
+	s.mu.Unlock()
+	s.persist()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	return r.Info(), nil
+}
+
+// lookup returns the run with the given id, if any.
+func (s *Server) lookup(id string) (*run, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runs[id]
+	return r, ok
+}
+
+// Info returns the public state of the run with the given id.
+func (s *Server) Info(id string) (RunInfo, bool) {
+	r, ok := s.lookup(id)
+	if !ok {
+		return RunInfo{}, false
+	}
+	return r.Info(), true
+}
+
+// Runs lists every run in submission order.
+func (s *Server) Runs() []RunInfo {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	runs := make([]*run, 0, len(ids))
+	for _, id := range ids {
+		runs = append(runs, s.runs[id])
+	}
+	s.mu.Unlock()
+	out := make([]RunInfo, 0, len(runs))
+	for _, r := range runs {
+		out = append(out, r.Info())
+	}
+	return out
+}
+
+// Cancel cancels a queued or running run. It reports false when the run
+// was already terminal.
+func (s *Server) Cancel(id string) (bool, error) {
+	r, ok := s.lookup(id)
+	if !ok {
+		return false, errUnknownRun
+	}
+	if !r.requestCancel() {
+		return false, nil
+	}
+	// A queued run has no worker to observe the cancellation; finalize it
+	// here. (A running one is finalized by its worker.) finish is a no-op
+	// transition if the worker claimed the run between requestCancel and
+	// this check — setRunning refuses cancelled runs, so the claim cannot
+	// have succeeded.
+	if r.Info().Status == StatusQueued {
+		r.finish(func(info *RunInfo) { info.Status = StatusCancelled })
+		// Drop the tombstone from the queue eagerly: workers skip
+		// cancelled entries anyway, but a dead id left in s.queue would
+		// count against MaxQueue and 503 live submissions.
+		s.mu.Lock()
+		for i, qid := range s.queue {
+			if qid == id {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+		if s.store != nil {
+			s.store.RemoveCheckpoint(id)
+		}
+		s.persist()
+	}
+	return true, nil
+}
+
+// Counters reports scheduler occupancy: queued, running, and terminal run
+// counts.
+func (s *Server) Counters() (queued, running, terminal int) {
+	for _, info := range s.Runs() {
+		switch {
+		case info.Status == StatusQueued:
+			queued++
+		case info.Status == StatusRunning:
+			running++
+		default:
+			terminal++
+		}
+	}
+	return
+}
+
+// Shutdown stops the scheduler: every running run snapshots (rbb) and
+// returns to the queue at its next round boundary, workers drain, and the
+// manifest is persisted. The server must not be used afterwards; a new
+// Server over the same directory picks the interrupted runs back up.
+func (s *Server) Shutdown() {
+	s.stop()
+	s.wg.Wait()
+	s.persist()
+}
+
+// persist writes the manifest (memory-only mode: no-op). persistMu is
+// held across both the state snapshot and the file write, so concurrent
+// transitions cannot overwrite a newer manifest with a staler one.
+// Errors are swallowed — a full disk must not kill the simulations; the
+// next transition retries.
+func (s *Server) persist() {
+	if s.store == nil {
+		return
+	}
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	s.mu.Lock()
+	m := &manifest{NextID: s.nextID}
+	runs := make([]*run, 0, len(s.order))
+	for _, id := range s.order {
+		runs = append(runs, s.runs[id])
+	}
+	s.mu.Unlock()
+	for _, r := range runs {
+		m.Runs = append(m.Runs, r.Info())
+	}
+	_ = s.store.SaveManifest(m)
+}
+
+// nextQueued pops the first queued, not-yet-cancelled run (nil if none).
+func (s *Server) nextQueued() *run {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) > 0 {
+		id := s.queue[0]
+		s.queue = s.queue[1:]
+		if r := s.runs[id]; !r.wasCancelled() {
+			return r
+		}
+	}
+	return nil
+}
+
+// worker is one scheduler slot: it claims queued runs and executes them
+// until shutdown.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		r := s.nextQueued()
+		if r == nil {
+			select {
+			case <-s.stopCtx.Done():
+				return
+			case <-s.wake:
+				continue
+			}
+		}
+		s.execute(r)
+		select {
+		case <-s.stopCtx.Done():
+			return
+		default:
+		}
+	}
+}
+
+// execute runs one simulation to completion, cancellation, or shutdown.
+func (s *Server) execute(r *run) {
+	ctx, cancel := context.WithCancel(s.stopCtx)
+	defer cancel()
+	if !r.setRunning(cancel) {
+		// Cancelled while queued and already finalized by Cancel.
+		return
+	}
+	s.persist()
+	info := r.Info()
+	spec, id := info.Spec, info.ID
+
+	var (
+		round       int64
+		interrupted bool
+		summary     *shard.Summary
+		err         error
+	)
+	if spec.Process == ProcessRBB {
+		round, interrupted, summary, err = s.runRBB(ctx, r, spec)
+	} else {
+		round, interrupted, summary, err = s.runTetris(ctx, r, spec)
+	}
+
+	switch {
+	case err != nil:
+		r.finish(func(info *RunInfo) {
+			info.Status = StatusFailed
+			info.Error = err.Error()
+			info.Round = round
+		})
+	case interrupted && r.wasCancelled():
+		r.finish(func(info *RunInfo) {
+			info.Status = StatusCancelled
+			info.Round = round
+		})
+		if s.store != nil {
+			s.store.RemoveCheckpoint(id)
+		}
+	case interrupted:
+		// Shutdown: back to the queue. The restart path resumes rbb runs
+		// from the snapshot checkpoint.Run just wrote; non-checkpointable
+		// processes re-run from round zero.
+		r.finish(func(info *RunInfo) {
+			info.Status = StatusQueued
+			info.Round = round
+			if spec.Process != ProcessRBB {
+				info.Round = 0
+			}
+		})
+	default:
+		r.finish(func(info *RunInfo) {
+			info.Status = StatusDone
+			info.Round = round
+			info.Summary = summary
+		})
+	}
+	s.persist()
+}
+
+// makeLoads builds the initial configuration exactly as cmd/rbb-sim does:
+// config.Make seeded with rng.New(seed) — the first half of the
+// (seed, n, shards) purity contract.
+func makeLoads(spec Spec) ([]int32, error) {
+	balls := spec.M
+	if spec.Process != ProcessRBB {
+		balls = spec.N
+	}
+	return config.Make(config.Generator(spec.Init), spec.N, balls, rng.New(spec.Seed))
+}
+
+// streamObserver emits an Event every spec.StreamEvery rounds and at the
+// target round.
+func streamObserver(r *run, pipe *shard.Pipeline, spec Spec) engine.Observer {
+	return engine.ObserverFunc(func(st engine.Stepper) {
+		round := st.Round()
+		if round%spec.StreamEvery != 0 && round != spec.Rounds {
+			return
+		}
+		r.publish(Event{
+			Round:     round,
+			MaxLoad:   st.MaxLoad(),
+			EmptyFrac: float64(st.EmptyBins()) / float64(st.N()),
+			WindowMax: pipe.WindowMax(),
+		})
+	})
+}
+
+// runRBB executes (or resumes) a checkpointable rbb run under
+// checkpoint.Run: periodic snapshots, on-demand trigger snapshots, and
+// snapshot-and-stop on ctx cancellation.
+func (s *Server) runRBB(ctx context.Context, r *run, spec Spec) (int64, bool, *shard.Summary, error) {
+	id := r.Info().ID
+	shOpts := shard.Options{Shards: spec.Shards, Workers: s.opts.RunWorkers}
+	var (
+		p    *shard.Process
+		pipe *shard.Pipeline
+	)
+	resume := false
+	if s.store != nil {
+		var err error
+		if resume, err = s.store.HasCheckpoint(id); err != nil {
+			return 0, false, nil, err
+		}
+	}
+	if resume {
+		snap, err := checkpoint.ReadFile(s.store.CheckpointPath(id))
+		if err != nil {
+			return 0, false, nil, fmt.Errorf("resume: %w", err)
+		}
+		// The checkpoint file is keyed only by run id; cross-check its
+		// identity against the spec so a stale or foreign file (recycled
+		// id, operator-edited store) can never impersonate this run's
+		// result.
+		if snap.Seed != spec.Seed || snap.Engine.N != spec.N || len(snap.Engine.Shards) != spec.Shards {
+			return 0, false, nil, fmt.Errorf("resume: checkpoint is for (seed %d, n %d, shards %d), spec wants (seed %d, n %d, shards %d)",
+				snap.Seed, snap.Engine.N, len(snap.Engine.Shards), spec.Seed, spec.N, spec.Shards)
+		}
+		p, pipe, err = checkpoint.Resume(snap, shOpts)
+		if err != nil {
+			return 0, false, nil, fmt.Errorf("resume: %w", err)
+		}
+	} else {
+		loads, err := makeLoads(spec)
+		if err != nil {
+			return 0, false, nil, err
+		}
+		if p, err = shard.NewProcess(loads, spec.Seed, shOpts); err != nil {
+			return 0, false, nil, err
+		}
+	}
+	if pipe == nil {
+		var err error
+		if pipe, err = shard.NewPipeline(spec.Quantiles); err != nil {
+			return 0, false, nil, err
+		}
+	}
+	pol := checkpoint.Policy{
+		Every:    spec.CheckpointEvery,
+		Seed:     spec.Seed,
+		Pipeline: pipe,
+		Trigger:  r.trigger,
+		// A client cancellation deletes the run's checkpoint right after
+		// the stop; don't write one just to unlink it (only shutdowns
+		// need the stop snapshot).
+		InterruptSnapshot: func() bool { return !r.wasCancelled() },
+	}
+	if s.store != nil {
+		pol.Path = s.store.CheckpointPath(id)
+	}
+	round, interrupted, err := checkpoint.Run(ctx, p, spec.Rounds, pol, streamObserver(r, pipe, spec))
+	if err != nil {
+		return round, interrupted, nil, err
+	}
+	sum := pipe.Summary()
+	return round, interrupted, &sum, nil
+}
+
+// runTetris executes a tetris or batches run (no snapshot support: a
+// shutdown re-queues it from round zero, which replays the identical
+// trajectory).
+func (s *Server) runTetris(ctx context.Context, r *run, spec Spec) (int64, bool, *shard.Summary, error) {
+	loads, err := makeLoads(spec)
+	if err != nil {
+		return 0, false, nil, err
+	}
+	law := tetris.Deterministic
+	if spec.Process == ProcessBatches {
+		law = tetris.BinomialArrivals
+	}
+	tp, err := shard.NewTetris(loads, spec.Seed, shard.TetrisOptions{
+		Options: shard.Options{Shards: spec.Shards, Workers: s.opts.RunWorkers},
+		Law:     law,
+		Lambda:  spec.Lambda,
+	})
+	if err != nil {
+		return 0, false, nil, err
+	}
+	pipe, err := shard.NewPipeline(spec.Quantiles)
+	if err != nil {
+		return 0, false, nil, err
+	}
+	_, stopped := engine.RunContext(ctx, tp, spec.Rounds, pipe, streamObserver(r, pipe, spec))
+	if stopped {
+		return tp.Round(), true, nil, nil
+	}
+	sum := pipe.Summary()
+	return tp.Round(), false, &sum, nil
+}
+
+// badRequestError marks a client error (HTTP 400).
+type badRequestError struct{ err error }
+
+func (e *badRequestError) Error() string { return e.err.Error() }
+
+var (
+	errUnknownRun = errors.New("unknown run")
+	errQueueFull  = errors.New("queue full")
+)

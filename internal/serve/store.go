@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/atomicio"
+)
+
+// store is the server's durable state: a JSON manifest of every run plus
+// one binary checkpoint file per rbb run. All writes are atomic
+// (internal/atomicio), so a crash leaves the previous consistent state.
+type store struct {
+	dir string
+}
+
+// manifest is the serialized scheduler state. Runs appear in submission
+// order; NextID preserves ID uniqueness across restarts.
+type manifest struct {
+	NextID int       `json:"next_id"`
+	Runs   []RunInfo `json:"runs"`
+}
+
+func newStore(dir string) (*store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: data dir: %w", err)
+	}
+	return &store{dir: dir}, nil
+}
+
+func (st *store) manifestPath() string { return filepath.Join(st.dir, "runs.json") }
+
+// CheckpointPath returns the checkpoint file of run id.
+func (st *store) CheckpointPath(id string) string {
+	return filepath.Join(st.dir, id+".ckpt")
+}
+
+// HasCheckpoint reports whether run id has a checkpoint on disk. A Stat
+// failure other than not-exist is surfaced — silently treating an
+// unreadable checkpoint as absent would restart a long run from round
+// zero instead of resuming it.
+func (st *store) HasCheckpoint(id string) (bool, error) {
+	_, err := os.Stat(st.CheckpointPath(id))
+	if err == nil {
+		return true, nil
+	}
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	return false, fmt.Errorf("serve: checkpoint: %w", err)
+}
+
+// RemoveCheckpoint deletes run id's checkpoint, if any.
+func (st *store) RemoveCheckpoint(id string) {
+	os.Remove(st.CheckpointPath(id))
+}
+
+// SaveManifest atomically replaces the manifest.
+func (st *store) SaveManifest(m *manifest) error {
+	return atomicio.WriteFile(st.manifestPath(), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	})
+}
+
+// LoadManifest reads the manifest; a missing file is an empty manifest.
+func (st *store) LoadManifest() (*manifest, error) {
+	blob, err := os.ReadFile(st.manifestPath())
+	if os.IsNotExist(err) {
+		return &manifest{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: manifest: %w", err)
+	}
+	m := new(manifest)
+	if err := json.Unmarshal(blob, m); err != nil {
+		return nil, fmt.Errorf("serve: manifest: %w", err)
+	}
+	return m, nil
+}

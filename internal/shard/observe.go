@@ -45,15 +45,16 @@ func NewPipeline(quantiles []float64) (*Pipeline, error) {
 
 // PipelineSnapshot is the serializable state of a Pipeline. The tracked
 // probabilities ride inside the sketch states (P2State.P), in the
-// pipeline's sorted order.
+// pipeline's sorted order. The struct marshals to JSON (the service
+// frontend's wire form); internal/checkpoint owns the binary form.
 type PipelineSnapshot struct {
-	Rounds      int64
-	WindowMax   int32
-	WindowAny   bool
-	EmptyMin    float64
-	EmptySum    float64
-	EmptyRounds int64
-	Sketches    []stats.P2State
+	Rounds      int64           `json:"rounds"`
+	WindowMax   int32           `json:"window_max"`
+	WindowAny   bool            `json:"window_any"`
+	EmptyMin    float64         `json:"empty_min"`
+	EmptySum    float64         `json:"empty_sum"`
+	EmptyRounds int64           `json:"empty_rounds"`
+	Sketches    []stats.P2State `json:"sketches,omitempty"`
 }
 
 // Snapshot captures the pipeline state for checkpointing.
@@ -119,6 +120,41 @@ func (p *Pipeline) EmptyMin() float64 { return p.empty.Min() }
 
 // EmptyMean returns the mean observed empty-bin fraction.
 func (p *Pipeline) EmptyMean() float64 { return p.empty.Mean() }
+
+// QuantileEstimate is one row of a Summary's quantile table: the tracked
+// probability and the current P² estimate of that quantile of the
+// per-round max load.
+type QuantileEstimate struct {
+	P        float64 `json:"p"`
+	Estimate float64 `json:"estimate"`
+}
+
+// Summary is the JSON-marshalable digest of a Pipeline: the run-so-far
+// observer statistics, with the quantile sketches collapsed to their
+// estimates. It is the result payload of rbb-serve and of rbb-sim -json;
+// two runs with equal trajectories produce byte-equal encodings (every
+// field is a deterministic function of the observed rounds).
+type Summary struct {
+	Rounds    int64              `json:"rounds"`
+	WindowMax int32              `json:"window_max"`
+	EmptyMin  float64            `json:"empty_min"`
+	EmptyMean float64            `json:"empty_mean"`
+	Quantiles []QuantileEstimate `json:"quantiles,omitempty"`
+}
+
+// Summary returns the current digest of the pipeline.
+func (p *Pipeline) Summary() Summary {
+	s := Summary{
+		Rounds:    p.rounds,
+		WindowMax: p.window.Max(),
+		EmptyMin:  p.empty.Min(),
+		EmptyMean: p.empty.Mean(),
+	}
+	for i, sk := range p.sketch {
+		s.Quantiles = append(s.Quantiles, QuantileEstimate{P: p.probs[i], Estimate: sk.Quantile()})
+	}
+	return s
+}
 
 // Quantiles returns the tracked probabilities (sorted) and the current
 // estimates of the per-round max-load quantiles, in matching order.

@@ -1,0 +1,114 @@
+package shard
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+)
+
+// observedPipeline returns a pipeline that has watched a real sharded run
+// long enough for the P² sketches to leave their exact-sample phase.
+func observedPipeline(t *testing.T, rounds int64) *Pipeline {
+	t.Helper()
+	p, err := NewProcess(config.AllInOne(512, 512), 11, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := NewPipeline([]float64{0.5, 0.9, 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < rounds; i++ {
+		p.Step()
+		pipe.Observe(p)
+	}
+	return pipe
+}
+
+// TestSummaryJSONRoundTrip: the Summary digest survives a JSON round trip
+// exactly, and equal pipelines produce byte-equal encodings (the property
+// the CI serve-smoke diff relies on).
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	pipe := observedPipeline(t, 40)
+	sum := pipe.Summary()
+	if sum.Rounds != 40 || sum.WindowMax == 0 || len(sum.Quantiles) != 3 {
+		t.Fatalf("implausible summary: %+v", sum)
+	}
+	blob, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sum, back) {
+		t.Fatalf("summary JSON round trip not exact:\n got %+v\nwant %+v", back, sum)
+	}
+	blob2, err := json.Marshal(observedPipeline(t, 40).Summary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != string(blob2) {
+		t.Fatalf("equal runs encode differently:\n%s\n%s", blob, blob2)
+	}
+}
+
+// TestSummaryEmptyPipeline: a pipeline with no quantiles and no observed
+// rounds still marshals (no NaN can reach the encoder).
+func TestSummaryEmptyPipeline(t *testing.T) {
+	pipe, err := NewPipeline(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(pipe.Summary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Summary
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Rounds != 0 || back.WindowMax != 0 || back.EmptyMin != 1 || back.Quantiles != nil {
+		t.Fatalf("zero-observation summary: %+v", back)
+	}
+}
+
+// TestPipelineSnapshotJSONRoundTrip: the full observer snapshot — window
+// max, empty-fraction accumulators and the complete P² marker tables —
+// survives JSON, and the decoded snapshot restores a pipeline that
+// continues the stream exactly as the original.
+func TestPipelineSnapshotJSONRoundTrip(t *testing.T) {
+	pipe := observedPipeline(t, 30)
+	snap := pipe.Snapshot()
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := new(PipelineSnapshot)
+	if err := json.Unmarshal(blob, back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Fatalf("snapshot JSON round trip not exact:\n got %+v\nwant %+v", back, snap)
+	}
+	restored, err := RestorePipeline(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed both pipelines the same suffix and require identical summaries.
+	p, err := NewProcess(config.OnePerBin(256), 7, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		p.Step()
+		pipe.Observe(p)
+		restored.Observe(p)
+	}
+	if !reflect.DeepEqual(pipe.Summary(), restored.Summary()) {
+		t.Fatalf("restored pipeline diverged:\n got %+v\nwant %+v", restored.Summary(), pipe.Summary())
+	}
+}

@@ -133,13 +133,16 @@ func (e *P2Quantile) Quantile() float64 {
 // P2State is the complete serializable state of a P2Quantile, for
 // checkpointing. While Count < 5 the first Count entries of Q hold the raw
 // buffered sample and Pos/Want are meaningless; from Count = 5 on, Q/Pos/
-// Want are the five marker heights, positions and desired positions.
+// Want are the five marker heights, positions and desired positions. The
+// struct marshals to JSON (the full marker table of the sketch, exposed by
+// the service frontend's snapshot endpoint); the marker values of a live
+// stream are always finite, so the encoding never hits JSON's NaN/Inf gap.
 type P2State struct {
-	P     float64
-	Count int64
-	Q     [5]float64
-	Pos   [5]float64
-	Want  [5]float64
+	P     float64    `json:"p"`
+	Count int64      `json:"count"`
+	Q     [5]float64 `json:"q"`
+	Pos   [5]float64 `json:"pos"`
+	Want  [5]float64 `json:"want"`
 }
 
 // State returns the estimator state for checkpointing.

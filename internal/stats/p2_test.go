@@ -1,12 +1,54 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
+	"reflect"
 	"sort"
 	"testing"
 
 	"repro/internal/rng"
 )
+
+// TestP2StateJSONRoundTrip: the full marker table survives JSON exactly,
+// in both the exact-sample phase (count < 5) and the steady state, and the
+// decoded state restores an estimator that continues the stream exactly.
+func TestP2StateJSONRoundTrip(t *testing.T) {
+	for _, feed := range []int{3, 200} {
+		e, err := NewP2Quantile(0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := rng.New(5)
+		for i := 0; i < feed; i++ {
+			e.Add(float64(src.Uint64n(1000)))
+		}
+		st := e.State()
+		blob, err := json.Marshal(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back P2State
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(st, back) {
+			t.Fatalf("feed %d: JSON round trip not exact:\n got %+v\nwant %+v", feed, back, st)
+		}
+		restored, err := RestoreP2Quantile(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			x := float64(src.Uint64n(1000))
+			e.Add(x)
+			restored.Add(x)
+		}
+		if e.Quantile() != restored.Quantile() || e.N() != restored.N() {
+			t.Fatalf("feed %d: restored estimator diverged: %v vs %v", feed, restored.Quantile(), e.Quantile())
+		}
+	}
+}
 
 func TestNewP2QuantileValidation(t *testing.T) {
 	for _, p := range []float64{0, 1, -0.2, 1.5, math.NaN()} {
