@@ -49,12 +49,20 @@ func run(args []string) error {
 		dataDir    = fs.String("data", "", "data directory for the run manifest and checkpoints (empty = in-memory, no restart story)")
 		ckptEvery  = fs.Int64("checkpoint-every", 0, "default periodic checkpoint period in rounds for rbb runs (0 = only on shutdown, on demand, and at completion)")
 		maxQueue   = fs.Int("max-queue", 0, "maximum queued runs before submissions get 503 (0 = 256)")
+		maxHistory = fs.Int("max-history", 0, "terminal runs retained before the oldest are garbage-collected with their checkpoints (0 = unlimited)")
+		ttl        = fs.Duration("ttl", 0, "terminal runs are garbage-collected this long after finishing (0 = never)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *ckptEvery < 0 {
 		return fmt.Errorf("need checkpoint-every >= 0, got %d", *ckptEvery)
+	}
+	if *maxHistory < 0 {
+		return fmt.Errorf("need max-history >= 0, got %d", *maxHistory)
+	}
+	if *ttl < 0 {
+		return fmt.Errorf("need ttl >= 0, got %v", *ttl)
 	}
 
 	s, err := serve.New(serve.Options{
@@ -63,6 +71,8 @@ func run(args []string) error {
 		MaxQueue:        *maxQueue,
 		Dir:             *dataDir,
 		CheckpointEvery: *ckptEvery,
+		MaxHistory:      *maxHistory,
+		TTL:             *ttl,
 	})
 	if err != nil {
 		return err

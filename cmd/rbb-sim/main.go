@@ -7,12 +7,23 @@
 // a run is a pure function of (seed, n, shards). Use an explicit -shards
 // value for results that reproduce across machines.
 //
+// Phase placement is selectable and never affects results: -transport
+// picks the in-process transport (pool: persistent workers with
+// shard→worker affinity, the default; spawn: per-phase goroutines), and
+// -procs P executes the run across P worker processes (re-executions of
+// this binary connected by pipes; original process only). The trajectory
+// is a pure function of (seed, n, shards) under every placement — the CI
+// proc-equivalence gate diffs a 2-process run against a single-process one
+// byte for byte.
+//
 // Long runs survive restarts: -checkpoint writes whole-run snapshots
 // (periodically with -checkpoint-every, on SIGTERM/SIGINT, and at
 // completion), and -resume continues from one. A resumed run is
 // byte-identical to the uninterrupted run — the snapshot carries every
 // shard's rng stream state, the load vector and the streaming-observer
-// accumulators (see internal/checkpoint).
+// accumulators (see internal/checkpoint). A checkpoint written under any
+// placement resumes under any other (-procs included: the snapshot doubles
+// as the worker join payload).
 //
 // Examples:
 //
@@ -20,6 +31,7 @@
 //	rbb-sim -n 65536 -rounds 500 -shards 4 -quantiles 0.5,0.99 -json
 //	rbb-sim -n 4096 -init all-in-one -rounds 20000 -report-every 1000
 //	rbb-sim -n 16777216 -rounds 500 -shards 64 -quantiles 0.5,0.9,0.99
+//	rbb-sim -n 16777216 -rounds 500 -shards 64 -procs 4
 //	rbb-sim -n 16777216 -rounds 5000 -shards 64 -checkpoint run.ckpt -checkpoint-every 500
 //	rbb-sim -resume run.ckpt -rounds 5000 -checkpoint run.ckpt
 //	rbb-sim -n 1024 -process tetris -rounds 5000
@@ -49,9 +61,13 @@ import (
 	"repro/internal/jackson"
 	"repro/internal/rng"
 	"repro/internal/shard"
+	"repro/internal/shard/transport/proc"
 )
 
 func main() {
+	// A process spawned as a -procs worker never reaches the CLI: it runs
+	// the exchange protocol on its pipes and exits inside MaybeWorker.
+	proc.MaybeWorker()
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "rbb-sim:", err)
 		os.Exit(1)
@@ -90,6 +106,8 @@ func run(args []string, out io.Writer) error {
 		seed      = fs.Uint64("seed", 1, "random seed")
 		every     = fs.Int64("report-every", 0, "print a row every K rounds (0 = auto, ~20 rows)")
 		shards    = fs.Int("shards", 0, "shard count for the data-parallel engine, original|tetris only (0 = GOMAXPROCS; the run is a pure function of seed, n and this value)")
+		transp    = fs.String("transport", "", "in-process phase transport: pool (persistent workers with shard affinity, default) | spawn (per-phase goroutines); never affects results")
+		procs     = fs.Int("procs", 0, "worker processes for the original process (0 or 1 = in-process; each worker holds a contiguous shard range; never affects results)")
 		quant     = fs.String("quantiles", "", "comma-separated probabilities in (0,1); streams P² sketches of the per-round max load and prints them in the summary (e.g. 0.5,0.9,0.99)")
 		ckptPath  = fs.String("checkpoint", "", "write whole-run checkpoints to this file (original process only): every -checkpoint-every rounds, on SIGTERM/SIGINT, and at completion")
 		ckptEvery = fs.Int64("checkpoint-every", 0, "rounds between periodic checkpoints (0 = only on signal and at completion; requires -checkpoint)")
@@ -108,9 +126,23 @@ func run(args []string, out io.Writer) error {
 	if *ckptEvery > 0 && *ckptPath == "" {
 		return errors.New("-checkpoint-every requires -checkpoint")
 	}
+	tkind, err := shard.ParseTransportKind(*transp)
+	if err != nil {
+		return err
+	}
+	if *procs < 0 {
+		return fmt.Errorf("need procs >= 0, got %d", *procs)
+	}
+	if *procs > 1 && *transp != "" {
+		// Workers always step their shard range through the local pool;
+		// silently accepting the flag would mislabel an ablation.
+		return errors.New("-transport selects the in-process transport; drop it with -procs > 1 (workers always use the pool)")
+	}
 	if *resume != "" {
 		// The checkpoint is self-describing; flags that would contradict it
-		// are rejected rather than silently ignored.
+		// are rejected rather than silently ignored. Placement flags
+		// (-transport, -procs, workers) stay free: they never change the
+		// law, so any checkpoint resumes under any placement.
 		fixed := map[string]bool{
 			"n": true, "m": true, "seed": true, "init": true, "process": true,
 			"strategy": true, "lambda": true, "d": true, "shards": true, "quantiles": true,
@@ -124,7 +156,10 @@ func run(args []string, out io.Writer) error {
 		if conflict != "" {
 			return fmt.Errorf("-resume takes -%s from the checkpoint file; drop the flag", conflict)
 		}
-		return runResumed(out, *resume, *rounds, *every, *ckptPath, *ckptEvery, *jsonOut)
+		return runResumed(out, *resume, *rounds, *every, *ckptPath, *ckptEvery, *procs, tkind, *jsonOut)
+	}
+	if *procs > 1 && *process != "original" {
+		return fmt.Errorf("-procs supports only -process original (got %q)", *process)
 	}
 	if *ckptPath != "" && *process != "original" {
 		return fmt.Errorf("-checkpoint supports only -process original (got %q)", *process)
@@ -149,20 +184,31 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	shOpts := shard.Options{Shards: *shards}
+	shOpts := shard.Options{Shards: *shards, Transport: tkind}
 	var s engine.Stepper
 	switch *process {
 	case "original":
+		if *procs > 1 {
+			e, err := proc.NewProcess(loads, *seed, proc.Options{Shards: *shards, Procs: *procs})
+			if err != nil {
+				return err
+			}
+			defer e.Close()
+			s = e
+			break
+		}
 		p, err := shard.NewProcess(loads, *seed, shOpts)
 		if err != nil {
 			return err
 		}
+		defer p.Close()
 		s = p
 	case "tetris":
 		p, err := shard.NewTetris(loads, *seed, shard.TetrisOptions{Options: shOpts, Lambda: *lambda})
 		if err != nil {
 			return err
 		}
+		defer p.Close()
 		s = p
 	case "token":
 		strat, err := core.ParseStrategy(*strategy)
@@ -201,6 +247,8 @@ func run(args []string, out io.Writer) error {
 			shardInfo = fmt.Sprintf(" shards=%d", p.Engine().Shards())
 		case *shard.Tetris:
 			shardInfo = fmt.Sprintf(" shards=%d", p.Engine().Shards())
+		case *proc.Engine:
+			shardInfo = fmt.Sprintf(" shards=%d procs=%d", p.Shards(), p.Procs())
 		}
 		fmt.Fprintf(out, "# %s process, n=%d m=%d init=%s seed=%d%s (legitimate: max load <= %d)\n",
 			*process, *n, balls, *initName, *seed, shardInfo, threshold)
@@ -215,7 +263,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		pol := checkpoint.Policy{Path: *ckptPath, Every: *ckptEvery, Seed: *seed, Pipeline: pipe}
-		return runCheckpointed(out, s.(*shard.Process), pipe, pol, *rounds, *every, *jsonOut)
+		return runCheckpointed(out, s.(checkpoint.Process), pipe, pol, *rounds, *every, *jsonOut)
 	}
 
 	if *jsonOut {
@@ -271,16 +319,41 @@ func printSummary(out io.Writer, pipe *shard.Pipeline) error {
 	return enc.Encode(pipe.Summary())
 }
 
-// runResumed rebuilds a run from a checkpoint file and continues it to the
-// target round.
-func runResumed(out io.Writer, path string, target, every int64, ckptPath string, ckptEvery int64, jsonOut bool) error {
+// runResumed rebuilds a run from a checkpoint file — in-process, or spread
+// over worker processes when procs > 1 (the snapshot doubles as the worker
+// join payload) — and continues it to the target round.
+func runResumed(out io.Writer, path string, target, every int64, ckptPath string, ckptEvery int64, procs int, tkind shard.TransportKind, jsonOut bool) error {
 	snap, err := checkpoint.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	p, pipe, err := checkpoint.Resume(snap, shard.Options{})
-	if err != nil {
-		return err
+	var (
+		p      checkpoint.Process
+		pipe   *shard.Pipeline
+		balls  int64
+		shards int
+		info   string
+	)
+	if procs > 1 {
+		e, err := proc.New(snap, proc.Options{Procs: procs})
+		if err != nil {
+			return err
+		}
+		defer e.Close()
+		if snap.Observer != nil {
+			if pipe, err = shard.RestorePipeline(snap.Observer); err != nil {
+				return err
+			}
+		}
+		p, balls, shards = e, e.Balls(), e.Shards()
+		info = fmt.Sprintf(" procs=%d", e.Procs())
+	} else {
+		sp, spipe, err := checkpoint.Resume(snap, shard.Options{Transport: tkind})
+		if err != nil {
+			return err
+		}
+		defer sp.Close()
+		p, pipe, balls, shards = sp, spipe, sp.Balls(), sp.Engine().Shards()
 	}
 	if target < p.Round() {
 		return fmt.Errorf("checkpoint is already at round %d, past the target -rounds %d (the flag counts total rounds from the original start, not additional rounds)", p.Round(), target)
@@ -295,8 +368,8 @@ func runResumed(out io.Writer, path string, target, every int64, ckptPath string
 	}
 	if !jsonOut {
 		threshold := config.LegitimateThreshold(p.N(), config.Beta)
-		fmt.Fprintf(out, "# original process resumed at round %d, n=%d m=%d seed=%d shards=%d (legitimate: max load <= %d)\n",
-			p.Round(), p.N(), p.Balls(), snap.Seed, p.Engine().Shards(), threshold)
+		fmt.Fprintf(out, "# original process resumed at round %d, n=%d m=%d seed=%d shards=%d%s (legitimate: max load <= %d)\n",
+			p.Round(), p.N(), balls, snap.Seed, shards, info, threshold)
 	}
 	pol := checkpoint.Policy{Path: ckptPath, Every: ckptEvery, Seed: snap.Seed, Pipeline: pipe}
 	return runCheckpointed(out, p, pipe, pol, target, every, jsonOut)
@@ -306,7 +379,7 @@ func runResumed(out io.Writer, path string, target, every int64, ckptPath string
 // policy. When the policy writes anywhere, SIGTERM/SIGINT cancel the run
 // context and checkpoint.Run snapshots and stops at the next round
 // boundary — the same shared path rbb-serve uses for its shutdown.
-func runCheckpointed(out io.Writer, p *shard.Process, pipe *shard.Pipeline, pol checkpoint.Policy, target, every int64, jsonOut bool) error {
+func runCheckpointed(out io.Writer, p checkpoint.Process, pipe *shard.Pipeline, pol checkpoint.Policy, target, every int64, jsonOut bool) error {
 	ctx := context.Background()
 	if pol.Path != "" {
 		var stop context.CancelFunc

@@ -10,7 +10,56 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/shard"
+	"repro/internal/shard/transport/proc"
 )
+
+// TestMain doubles as the -procs worker entry point: coordinator engines
+// spawned by these tests re-execute the test binary, and MaybeWorker
+// diverts the children into the worker protocol.
+func TestMain(m *testing.M) {
+	proc.MaybeWorker()
+	os.Exit(m.Run())
+}
+
+// TestRunTransports: the -transport flag is placement only — pool and
+// spawn runs print byte-identical output.
+func TestRunTransports(t *testing.T) {
+	args := []string{"-n", "512", "-rounds", "200", "-shards", "4", "-seed", "5"}
+	var pool, spawn strings.Builder
+	if err := run(append(args, "-transport", "pool"), &pool); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-transport", "spawn"), &spawn); err != nil {
+		t.Fatal(err)
+	}
+	if pool.String() != spawn.String() {
+		t.Fatalf("transport changed the output:\n%s\n%s", pool.String(), spawn.String())
+	}
+}
+
+// TestRunProcs: a -procs 2 run produces the byte-identical -json summary
+// of the in-process run (the CLI face of the transport-invariance
+// contract), and the human header names the process count.
+func TestRunProcs(t *testing.T) {
+	args := []string{"-n", "1024", "-rounds", "150", "-shards", "4", "-quantiles", "0.5", "-seed", "9", "-json"}
+	var inproc, multi strings.Builder
+	if err := run(args, &inproc); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-procs", "2"), &multi); err != nil {
+		t.Fatal(err)
+	}
+	if inproc.String() != multi.String() {
+		t.Fatalf("-procs changed the summary:\n%s\n%s", inproc.String(), multi.String())
+	}
+	var sb strings.Builder
+	if err := run([]string{"-n", "256", "-rounds", "50", "-shards", "4", "-procs", "2", "-seed", "3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "shards=4 procs=2") {
+		t.Errorf("header missing procs info:\n%s", sb.String())
+	}
+}
 
 func TestRunOriginal(t *testing.T) {
 	var sb strings.Builder
@@ -142,6 +191,10 @@ func TestRunErrors(t *testing.T) {
 		{"-shards", "-2"},
 		{"-quantiles", "1.5"},
 		{"-quantiles", "abc"},
+		{"-transport", "bogus"},
+		{"-procs", "-1"},
+		{"-procs", "2", "-process", "tetris"},
+		{"-procs", "2", "-transport", "spawn"},
 	}
 	for _, args := range cases {
 		if err := run(args, &sb); err == nil {

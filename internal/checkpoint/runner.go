@@ -39,6 +39,17 @@ type Policy struct {
 	InterruptSnapshot func() bool
 }
 
+// Process is the engine surface Run drives: a round stepper that can
+// snapshot its complete deterministic state between rounds. *shard.Process
+// implements it, and so does the multi-process coordinator engine of
+// internal/shard/transport/proc — which is how `rbb-sim -procs P` shares
+// this runner (periodic, triggered and snapshot-and-stop checkpoints)
+// with single-process runs.
+type Process interface {
+	engine.Stepper
+	Snapshot() (*shard.EngineSnapshot, error)
+}
+
 // Run drives p to round target under pol, notifying obs (and pol.Pipeline)
 // after every round. All checkpoint hooks are barrier-synchronized for
 // free: Engine.Step returns only after the release and commit barriers, so
@@ -56,7 +67,7 @@ type Policy struct {
 // on ctx. When pol.Path is set, a snapshot is on disk at return: written
 // every pol.Every rounds, on each pol.Trigger receive, at cancellation,
 // and at normal completion.
-func Run(ctx context.Context, p *shard.Process, target int64, pol Policy, obs ...engine.Observer) (int64, bool, error) {
+func Run(ctx context.Context, p Process, target int64, pol Policy, obs ...engine.Observer) (int64, bool, error) {
 	// The pipeline observes before the caller's observers, so a caller
 	// observer reading the pipeline (the server's stream events do) sees
 	// the accumulators already folded over the round it is looking at.

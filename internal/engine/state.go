@@ -42,6 +42,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 
 	"repro/internal/bitset"
 )
@@ -184,6 +185,35 @@ func (s *State) Sum() int64 {
 		t += int64(l)
 	}
 	return t
+}
+
+// prefaultSink keeps the Prefault read loop observable so the compiler
+// cannot elide it; atomic because pool workers prefault shards
+// concurrently.
+var prefaultSink atomic.Int64
+
+// pageInts is the prefault stride: one touch per 4 KiB page of int32s.
+const pageInts = 4096 / 4
+
+// Prefault is the worker-pinned warm-up hook of the pooled transport: it
+// touches one word per page of the load vector and *writes* one zero per
+// page of the arrival staging area. The staging area is allocated zeroed
+// and not written until balls actually land, so on a first-touch NUMA
+// policy its pages are not placed until the first round; calling Prefault
+// from the pool worker that owns this shard faults them on that worker's
+// node (and pulls the load vector through its cache hierarchy) before the
+// run starts. Writing zero to arr is a semantic no-op — arr is all-zero
+// between rounds. Must not be called mid-round.
+func (s *State) Prefault() {
+	if s.inRound {
+		panic("engine: Prefault mid-round")
+	}
+	var sink int64
+	for i := 0; i < s.n; i += pageInts {
+		sink += int64(s.load[i])
+		s.arr[i] = 0
+	}
+	prefaultSink.Add(sink)
 }
 
 // Deposit stages one arriving ball at bin v. Staged balls become visible at

@@ -53,9 +53,14 @@ func E20HugeN(cfg Config) (*Result, error) {
 		}
 		pipe, err := shard.NewPipeline([]float64{0.9})
 		if err != nil {
+			p.Close()
 			return nil, err
 		}
 		engine.Run(p, c.window, pipe)
+		shards := p.Engine().Shards()
+		// Release the row's pool workers eagerly — the grid creates one
+		// engine per row and the sweep can run for minutes.
+		p.Close()
 		m := float64(pipe.WindowMax())
 		ratio := m / lnF(c.n)
 		ratios = append(ratios, ratio)
@@ -64,7 +69,7 @@ func E20HugeN(cfg Config) (*Result, error) {
 		if meanEmpty < 0.30 || meanEmpty > 0.50 {
 			emptyOK = false
 		}
-		tbl.AddRow(c.n, p.Engine().Shards(), c.window, pipe.WindowMax(),
+		tbl.AddRow(c.n, shards, c.window, pipe.WindowMax(),
 			ratio, p90[0], meanEmpty)
 	}
 	spread := ratioSpread(ratios)

@@ -20,8 +20,25 @@
 // the server builds the initial configuration and the sharded process
 // exactly as cmd/rbb-sim does, so a run's result — and its byte-exact
 // Summary encoding — matches `rbb-sim -json` for the same spec, no matter
-// how many other runs share the scheduler. The worker budget and the
-// per-run phase workers change wall-clock only.
+// how many other runs share the scheduler. The worker budget, the per-run
+// phase workers and the requested phase transport (Spec.Transport: the
+// persistent affinity pool or per-phase goroutine spawning) change
+// wall-clock only.
+//
+// # Result cache
+//
+// Because results are bit-identical by construction, a submission whose
+// result-determining fields (process, seed, n, m, rounds, shards, init,
+// lambda, quantile set — NOT the placement and snapshot knobs) match an
+// already-completed run returns a new run that is immediately done,
+// carrying the stored Summary and Cached: true, without recomputing.
+//
+// # Retention
+//
+// Options.MaxHistory and Options.TTL bound the terminal-run history:
+// beyond MaxHistory terminal runs (oldest first) or past TTL since
+// finishing, terminal runs — and their checkpoints and cache entries — are
+// garbage-collected. Queued and running runs are never collected.
 //
 // # Crash and restart story
 //
@@ -92,6 +109,12 @@ type Spec struct {
 	// StreamEvery is the round period of stream events (0 = auto,
 	// ~256 events per run).
 	StreamEvery int64 `json:"stream_every,omitempty"`
+	// Transport selects the in-process phase transport stepping the run:
+	// "pool" (persistent workers with shard→worker affinity, the default)
+	// or "spawn" (per-phase goroutines). It never affects the result —
+	// only wall-clock — and is therefore excluded from the result-cache
+	// key.
+	Transport string `json:"transport,omitempty"`
 }
 
 // Normalize fills defaults in place and validates the spec.
@@ -168,7 +191,22 @@ func (sp *Spec) Normalize(defaultCheckpointEvery int64) error {
 			sp.StreamEvery = 1
 		}
 	}
+	kind, err := shard.ParseTransportKind(sp.Transport)
+	if err != nil {
+		return fmt.Errorf("unknown transport %q (want pool|spawn)", sp.Transport)
+	}
+	sp.Transport = kind.String()
 	return nil
+}
+
+// transportKind returns the normalized phase-transport kind of the spec
+// (specs persisted before the transport field default to the pool).
+func (sp Spec) transportKind() shard.TransportKind {
+	kind, err := shard.ParseTransportKind(sp.Transport)
+	if err != nil {
+		return shard.TransportPool
+	}
+	return kind
 }
 
 // Status is a run's scheduler state.
@@ -205,6 +243,12 @@ type RunInfo struct {
 	Error string `json:"error,omitempty"`
 	// Summary is the observer digest, set once Status is done.
 	Summary *shard.Summary `json:"summary,omitempty"`
+	// FinishedUnix is the Unix time the run reached a terminal status
+	// (0 while queued or running). The retention TTL counts from it.
+	FinishedUnix int64 `json:"finished_unix,omitempty"`
+	// Cached marks a run answered from the result cache: it was born
+	// done, carrying the Summary of an earlier identical submission.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // Event is one streaming observer sample, emitted every StreamEvery rounds

@@ -417,6 +417,7 @@ func TestSpecNormalizeDefaults(t *testing.T) {
 	want := Spec{
 		Process: ProcessRBB, Seed: 1, N: 100, M: 100, Rounds: 1000,
 		Shards: 1, Init: "one-per-bin", CheckpointEvery: 250, StreamEvery: 3,
+		Transport: "pool",
 	}
 	if !reflect.DeepEqual(sp, want) {
 		t.Fatalf("normalized:\n got %+v\nwant %+v", sp, want)

@@ -5,7 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/config"
@@ -35,6 +39,16 @@ type Options struct {
 	// for rbb runs whose spec does not set one (default 0: snapshots only
 	// on shutdown, on demand, and at completion).
 	CheckpointEvery int64
+	// MaxHistory bounds the number of retained terminal runs (0 =
+	// unlimited): beyond it the oldest terminal runs are removed, along
+	// with their checkpoints and result-cache entries. Queued and running
+	// runs never count against it.
+	MaxHistory int
+	// TTL, when positive, removes terminal runs TTL after they finished
+	// (a background janitor sweeps while the server runs; expired runs
+	// are also collected opportunistically on submissions and
+	// completions).
+	TTL time.Duration
 }
 
 // Server is the run service: a registry of runs, a bounded scheduler
@@ -43,12 +57,19 @@ type Options struct {
 type Server struct {
 	opts  Options
 	store *store // nil in memory-only mode
+	now   func() time.Time
 
 	mu     sync.Mutex
 	runs   map[string]*run
 	order  []string // submission order, for listing and the manifest
 	queue  []string // FIFO of queued run ids
 	nextID int
+	// cache maps the result-determining spec key of every retained done
+	// run to its stored result, so identical resubmissions are answered
+	// without recomputing (bit-identical by construction). Entries die
+	// with the run retention GC removes, which bounds the cache by the
+	// retained history.
+	cache map[string]cacheEntry
 
 	persistMu sync.Mutex // serializes manifest writes
 
@@ -56,6 +77,32 @@ type Server struct {
 	stop    context.CancelFunc
 	wake    chan struct{} // scheduler pokes, capacity Workers
 	wg      sync.WaitGroup
+}
+
+// cacheEntry is one stored result: the producing run (whose GC evicts the
+// entry) and the completed round count + summary served to cache hits.
+type cacheEntry struct {
+	runID   string
+	round   int64
+	summary *shard.Summary
+}
+
+// specKey canonicalizes the result-determining fields of a normalized
+// spec. Placement and snapshot knobs (Transport, CheckpointEvery,
+// StreamEvery) are deliberately absent: they never perturb the trajectory,
+// so specs differing only there share a result.
+func specKey(sp Spec) string {
+	qs := append([]float64(nil), sp.Quantiles...)
+	sort.Float64s(qs)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%d|%d|%d|%d|%d|%s|%s",
+		sp.Process, sp.Seed, sp.N, sp.M, sp.Rounds, sp.Shards, sp.Init,
+		strconv.FormatFloat(sp.Lambda, 'g', -1, 64))
+	for _, q := range qs {
+		b.WriteByte('|')
+		b.WriteString(strconv.FormatFloat(q, 'g', -1, 64))
+	}
+	return b.String()
 }
 
 // New builds a server, restores any persisted state from opts.Dir, and
@@ -70,9 +117,11 @@ func New(opts Options) (*Server, error) {
 		opts.MaxQueue = 256
 	}
 	s := &Server{
-		opts: opts,
-		runs: make(map[string]*run),
-		wake: make(chan struct{}, opts.Workers),
+		opts:  opts,
+		now:   time.Now,
+		runs:  make(map[string]*run),
+		cache: make(map[string]cacheEntry),
+		wake:  make(chan struct{}, opts.Workers),
 	}
 	s.stopCtx, s.stop = context.WithCancel(context.Background())
 	if opts.Dir != "" {
@@ -84,10 +133,36 @@ func New(opts Options) (*Server, error) {
 		if err := s.restore(); err != nil {
 			return nil, err
 		}
+		s.gc() // apply the retention policy to the inherited history
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	if opts.TTL > 0 {
+		// The janitor sweeps expired terminal runs even when the server
+		// is otherwise idle. Interval: half the TTL, clamped to [1s, 1m].
+		interval := opts.TTL / 2
+		if interval < time.Second {
+			interval = time.Second
+		}
+		if interval > time.Minute {
+			interval = time.Minute
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-s.stopCtx.Done():
+					return
+				case <-t.C:
+					s.gc()
+				}
+			}
+		}()
 	}
 	return s, nil
 }
@@ -103,6 +178,13 @@ func (s *Server) restore() error {
 	}
 	s.nextID = m.NextID
 	for _, info := range m.Runs {
+		// Terminal runs persisted before the finished_unix field (or by a
+		// crash between transition and stamp) carry a zero finish time;
+		// date them to the restore so a freshly enabled TTL ages them
+		// from now instead of collecting the whole history at startup.
+		if info.Status.Terminal() && info.FinishedUnix == 0 {
+			info.FinishedUnix = s.now().Unix()
+		}
 		r := newRun(info.ID, info.Spec)
 		r.info = info
 		if !info.Status.Terminal() {
@@ -120,16 +202,39 @@ func (s *Server) restore() error {
 		}
 		s.runs[info.ID] = r
 		s.order = append(s.order, info.ID)
+		if info.Status == StatusDone && info.Summary != nil {
+			s.cache[specKey(info.Spec)] = cacheEntry{runID: info.ID, round: info.Round, summary: info.Summary}
+		}
 	}
 	return nil
 }
 
-// Submit validates and enqueues a run, returning its public state.
+// Submit validates and enqueues a run, returning its public state. A
+// submission whose result-determining fields match a retained done run is
+// answered from the result cache: the returned run is already done,
+// carries the stored Summary and Cached: true, and never occupies a queue
+// slot or a worker.
 func (s *Server) Submit(spec Spec) (RunInfo, error) {
 	if err := spec.Normalize(s.opts.CheckpointEvery); err != nil {
 		return RunInfo{}, &badRequestError{err}
 	}
 	s.mu.Lock()
+	if ent, ok := s.cache[specKey(spec)]; ok {
+		s.nextID++
+		id := fmt.Sprintf("r%06d", s.nextID)
+		r := newRun(id, spec)
+		r.info.Status = StatusDone
+		r.info.Round = ent.round
+		r.info.Summary = ent.summary
+		r.info.Cached = true
+		r.info.FinishedUnix = s.now().Unix()
+		s.runs[id] = r
+		s.order = append(s.order, id)
+		s.mu.Unlock()
+		s.persist()
+		s.gc()
+		return r.Info(), nil
+	}
 	if len(s.queue) >= s.opts.MaxQueue {
 		s.mu.Unlock()
 		return RunInfo{}, errQueueFull
@@ -146,7 +251,86 @@ func (s *Server) Submit(spec Spec) (RunInfo, error) {
 	case s.wake <- struct{}{}:
 	default:
 	}
+	s.gc()
 	return r.Info(), nil
+}
+
+// finishRun applies a terminal (or re-queued) transition, stamping the
+// finish time on terminal ones (the retention TTL counts from it).
+func (s *Server) finishRun(r *run, mutate func(*RunInfo)) {
+	ts := s.now().Unix()
+	r.finish(func(info *RunInfo) {
+		mutate(info)
+		if info.Status.Terminal() {
+			info.FinishedUnix = ts
+		} else {
+			info.FinishedUnix = 0
+		}
+	})
+}
+
+// gc applies the retention policy: terminal runs past Options.TTL, then
+// the oldest terminal runs beyond Options.MaxHistory, are removed together
+// with their checkpoints and result-cache entries. Terminal is a final
+// state, so the scan can run unlocked and the removal re-acquire the lock
+// without races.
+func (s *Server) gc() {
+	if s.opts.MaxHistory <= 0 && s.opts.TTL <= 0 {
+		return
+	}
+	infos := s.Runs()
+	victims := make(map[string]bool)
+	cutoff := int64(0)
+	if s.opts.TTL > 0 {
+		cutoff = s.now().Add(-s.opts.TTL).Unix()
+	}
+	kept := 0
+	for _, info := range infos {
+		if info.Status.Terminal() {
+			if s.opts.TTL > 0 && info.FinishedUnix <= cutoff {
+				victims[info.ID] = true
+			} else {
+				kept++
+			}
+		}
+	}
+	if s.opts.MaxHistory > 0 && kept > s.opts.MaxHistory {
+		excess := kept - s.opts.MaxHistory
+		for _, info := range infos {
+			if excess == 0 {
+				break
+			}
+			if info.Status.Terminal() && !victims[info.ID] {
+				victims[info.ID] = true
+				excess--
+			}
+		}
+	}
+	if len(victims) == 0 {
+		return
+	}
+	s.mu.Lock()
+	order := s.order[:0]
+	for _, id := range s.order {
+		if victims[id] {
+			delete(s.runs, id)
+		} else {
+			order = append(order, id)
+		}
+	}
+	s.order = order
+	for key, ent := range s.cache {
+		if victims[ent.runID] {
+			delete(s.cache, key)
+		}
+	}
+	s.mu.Unlock()
+	if s.store != nil {
+		for id := range victims {
+			s.store.RemoveCheckpoint(id)
+		}
+	}
+	s.persist()
 }
 
 // lookup returns the run with the given id, if any.
@@ -198,7 +382,7 @@ func (s *Server) Cancel(id string) (bool, error) {
 	// this check — setRunning refuses cancelled runs, so the claim cannot
 	// have succeeded.
 	if r.Info().Status == StatusQueued {
-		r.finish(func(info *RunInfo) { info.Status = StatusCancelled })
+		s.finishRun(r, func(info *RunInfo) { info.Status = StatusCancelled })
 		// Drop the tombstone from the queue eagerly: workers skip
 		// cancelled entries anyway, but a dead id left in s.queue would
 		// count against MaxQueue and 503 live submissions.
@@ -275,7 +459,9 @@ func (s *Server) nextQueued() *run {
 	for len(s.queue) > 0 {
 		id := s.queue[0]
 		s.queue = s.queue[1:]
-		if r := s.runs[id]; !r.wasCancelled() {
+		// A cancelled entry may linger here until popped, and retention
+		// GC may have dropped it from the registry by then.
+		if r := s.runs[id]; r != nil && !r.wasCancelled() {
 			return r
 		}
 	}
@@ -331,13 +517,13 @@ func (s *Server) execute(r *run) {
 
 	switch {
 	case err != nil:
-		r.finish(func(info *RunInfo) {
+		s.finishRun(r, func(info *RunInfo) {
 			info.Status = StatusFailed
 			info.Error = err.Error()
 			info.Round = round
 		})
 	case interrupted && r.wasCancelled():
-		r.finish(func(info *RunInfo) {
+		s.finishRun(r, func(info *RunInfo) {
 			info.Status = StatusCancelled
 			info.Round = round
 		})
@@ -348,7 +534,7 @@ func (s *Server) execute(r *run) {
 		// Shutdown: back to the queue. The restart path resumes rbb runs
 		// from the snapshot checkpoint.Run just wrote; non-checkpointable
 		// processes re-run from round zero.
-		r.finish(func(info *RunInfo) {
+		s.finishRun(r, func(info *RunInfo) {
 			info.Status = StatusQueued
 			info.Round = round
 			if spec.Process != ProcessRBB {
@@ -356,13 +542,27 @@ func (s *Server) execute(r *run) {
 			}
 		})
 	default:
-		r.finish(func(info *RunInfo) {
+		s.finishRun(r, func(info *RunInfo) {
 			info.Status = StatusDone
 			info.Round = round
 			info.Summary = summary
 		})
+		// Feed the result cache (first writer wins; later identical runs
+		// would store a bit-identical summary anyway). A concurrent gc()
+		// may already have collected this run between the terminal
+		// transition above and here — skip the write then, or the entry
+		// would outlive every future sweep (gc evicts entries by their
+		// producing run's id).
+		s.mu.Lock()
+		if _, live := s.runs[id]; live {
+			if key := specKey(spec); s.cache[key].summary == nil {
+				s.cache[key] = cacheEntry{runID: id, round: round, summary: summary}
+			}
+		}
+		s.mu.Unlock()
 	}
 	s.persist()
+	s.gc()
 }
 
 // makeLoads builds the initial configuration exactly as cmd/rbb-sim does:
@@ -398,7 +598,7 @@ func streamObserver(r *run, pipe *shard.Pipeline, spec Spec) engine.Observer {
 // snapshot-and-stop on ctx cancellation.
 func (s *Server) runRBB(ctx context.Context, r *run, spec Spec) (int64, bool, *shard.Summary, error) {
 	id := r.Info().ID
-	shOpts := shard.Options{Shards: spec.Shards, Workers: s.opts.RunWorkers}
+	shOpts := shard.Options{Shards: spec.Shards, Workers: s.opts.RunWorkers, Transport: spec.transportKind()}
 	var (
 		p    *shard.Process
 		pipe *shard.Pipeline
@@ -436,6 +636,7 @@ func (s *Server) runRBB(ctx context.Context, r *run, spec Spec) (int64, bool, *s
 			return 0, false, nil, err
 		}
 	}
+	defer p.Close()
 	if pipe == nil {
 		var err error
 		if pipe, err = shard.NewPipeline(spec.Quantiles); err != nil {
@@ -476,13 +677,14 @@ func (s *Server) runTetris(ctx context.Context, r *run, spec Spec) (int64, bool,
 		law = tetris.BinomialArrivals
 	}
 	tp, err := shard.NewTetris(loads, spec.Seed, shard.TetrisOptions{
-		Options: shard.Options{Shards: spec.Shards, Workers: s.opts.RunWorkers},
+		Options: shard.Options{Shards: spec.Shards, Workers: s.opts.RunWorkers, Transport: spec.transportKind()},
 		Law:     law,
 		Lambda:  spec.Lambda,
 	})
 	if err != nil {
 		return 0, false, nil, err
 	}
+	defer tp.Close()
 	pipe, err := shard.NewPipeline(spec.Quantiles)
 	if err != nil {
 		return 0, false, nil, err

@@ -24,6 +24,7 @@ func benchSharded(b *testing.B, loads []int32, workers int) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer p.Close()
 	b.SetBytes(int64(len(loads)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -65,4 +66,45 @@ func BenchmarkShardAllInOneWMax(b *testing.B) {
 
 func BenchmarkSeqAllInOne(b *testing.B) {
 	benchSequential(b, config.AllInOne(benchN, benchN))
+}
+
+// The transport ablation pair (BENCH_pool.json, EXPERIMENTS E23): the
+// identical decomposition stepped through the persistent affinity pool
+// versus spawn-per-phase. Two regimes: many short phases (small bins per
+// shard, S = 64 — the per-phase goroutine create/join cost of spawn is a
+// visible fraction of the round) and the big-n shape of the recorded
+// BENCH_shard.json comparison.
+const (
+	ablateSmallN = 1 << 16
+	ablateShards = 64
+)
+
+func benchTransport(b *testing.B, n, shards int, kind TransportKind) {
+	p, err := NewProcess(config.OnePerBin(n), 1,
+		Options{Shards: shards, Workers: runtime.GOMAXPROCS(0), Transport: kind})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	b.SetBytes(int64(n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+}
+
+func BenchmarkShardPoolSmallS64(b *testing.B) {
+	benchTransport(b, ablateSmallN, ablateShards, TransportPool)
+}
+
+func BenchmarkShardSpawnSmallS64(b *testing.B) {
+	benchTransport(b, ablateSmallN, ablateShards, TransportSpawn)
+}
+
+func BenchmarkShardPoolBigS8(b *testing.B) {
+	benchTransport(b, benchN, benchShards, TransportPool)
+}
+
+func BenchmarkShardSpawnBigS8(b *testing.B) {
+	benchTransport(b, benchN, benchShards, TransportSpawn)
 }

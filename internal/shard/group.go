@@ -1,0 +1,438 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/engine"
+	"repro/internal/rng"
+	"repro/internal/shard/transport"
+)
+
+// shardPart is one contiguous partition: a sequential engine.State over the
+// local bins, a private RNG stream, and the outgoing message buffers.
+type shardPart struct {
+	base  int // global index of the first owned bin
+	size  int
+	state *engine.State
+	src   *rng.Source
+	// out[d] holds the global destination bins of balls this shard sends
+	// to global shard d in the current round. Written by this shard during
+	// release; in-process destinations are drained (and reset) by shard d
+	// during commit, remote destinations are shipped by the transport
+	// between the phases and reset after commit. The phase barrier orders
+	// writers and readers.
+	out [][]int32
+}
+
+// Group is the in-process kernel of the round protocol: it holds shards
+// [Lo, Hi) of a run partitioned into Shards contiguous shards over N bins,
+// and executes the per-shard release and commit phases on them through a
+// transport.Runner. The whole-run Engine is a Group owning every shard; a
+// proc-transport worker is a Group owning a sub-range, with the remote
+// legs of the exchange carried by Outgoing/Deliver.
+//
+// A Group is driven strictly phase-sequentially by one goroutine:
+// Release, then (for sub-range groups) ship Outgoing buffers and Deliver
+// inbound ones, then Commit. Each phase call returns only after every
+// owned shard's work completed — the runner is the phase barrier.
+type Group struct {
+	n      int // global bins
+	s      int // global shard count
+	lo, hi int // owned shard range [lo, hi)
+	// shift routes a destination to its shard with v >> shift when every
+	// shard has the same power-of-two size (the common n = 2^k case);
+	// −1 selects the general divide-based router.
+	shift  int
+	parts  []shardPart // parts[i] is global shard lo+i
+	runner transport.Runner
+
+	// inbox[i][src] is the delivered buffer for owned shard lo+i from
+	// remote shard src (nil/empty for in-process sources, which are read
+	// straight out of their part's out row). Written by Deliver between
+	// the phases, drained and reset by Commit.
+	inbox [][][]int32
+
+	released []int // per owned shard, release counts of the in-flight round
+	staged   []int // per owned shard, arrival counts of the in-flight round
+}
+
+// PartitionSize returns the canonical size of shard i when n bins are
+// split into s contiguous shards: the first n mod s shards hold one extra
+// bin. It is the single definition of the partition arithmetic —
+// checkpoint decoding validates serialized shard sizes against it.
+func PartitionSize(n, s, i int) int {
+	size := n / s
+	if i < n%s {
+		size++
+	}
+	return size
+}
+
+// PartitionStart returns the global index of the first bin of shard i
+// under the canonical partition of n bins into s shards.
+func PartitionStart(n, s, i int) int {
+	q, r := n/s, n%s
+	if i <= r {
+		return i * (q + 1)
+	}
+	return r*(q+1) + (i-r)*q
+}
+
+// NewGroup builds fresh shard states for shards [lo, hi) of a run over n
+// bins split into s shards, copying the owned bins from loads (which must
+// hold exactly the bins of those shards, i.e. the global range
+// [PartitionStart(lo), PartitionStart(hi))). Shard i draws from
+// rng.NewStream(seed, i). onEmptied, if non-nil, is invoked with global
+// bin indices as documented on Options.OnEmptied. The group takes
+// ownership of runner and closes it with Close.
+func NewGroup(n, s, lo, hi int, loads []int32, seed uint64, runner transport.Runner, onEmptied func(u int)) (*Group, error) {
+	g, err := newGroupFrame(n, s, lo, hi, runner)
+	if err != nil {
+		return nil, err
+	}
+	if want := PartitionStart(n, s, hi) - PartitionStart(n, s, lo); len(loads) != want {
+		return nil, fmt.Errorf("shard: group loads hold %d bins, shards [%d,%d) own %d", len(loads), lo, hi, want)
+	}
+	off := 0
+	for i := range g.parts {
+		sh := &g.parts[i]
+		st, err := newPartState(loads[off:off+sh.size], sh.base, onEmptied)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", lo+i, err)
+		}
+		sh.state = st
+		sh.src = rng.NewStream(seed, uint64(lo+i))
+		off += sh.size
+	}
+	g.prefault()
+	return g, nil
+}
+
+// NewGroupFromSnapshot builds the kernel for shards [lo, hi) from a
+// whole-run snapshot, restoring each owned shard's loads, worklist and rng
+// stream with the same structural cross-checks as RestoreEngine. The proc
+// transport uses it — with the serialized checkpoint as the join payload —
+// to migrate shard ranges into worker processes.
+func NewGroupFromSnapshot(snap *EngineSnapshot, lo, hi int, runner transport.Runner, onEmptied func(u int)) (*Group, error) {
+	if snap == nil {
+		return nil, errors.New("shard: NewGroupFromSnapshot with nil snapshot")
+	}
+	if snap.Round < 0 {
+		return nil, fmt.Errorf("shard: snapshot round %d < 0", snap.Round)
+	}
+	s := len(snap.Shards)
+	if s < 1 || s > snap.N {
+		return nil, fmt.Errorf("shard: snapshot has %d shards for %d bins", s, snap.N)
+	}
+	g, err := newGroupFrame(snap.N, s, lo, hi, runner)
+	if err != nil {
+		return nil, err
+	}
+	for i := range g.parts {
+		sh := &g.parts[i]
+		ss := &snap.Shards[lo+i]
+		if sh.size != len(ss.Loads) {
+			return nil, fmt.Errorf("shard: snapshot shard %d holds %d bins, partition wants %d", lo+i, len(ss.Loads), sh.size)
+		}
+		st, err := newPartState(ss.Loads, sh.base, onEmptied)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", lo+i, err)
+		}
+		if err := st.Restore(ss.Loads, ss.Work); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", lo+i, err)
+		}
+		sh.state = st
+		sh.src = rng.New(0)
+		if err := sh.src.SetState(ss.RNG); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", lo+i, err)
+		}
+	}
+	g.prefault()
+	return g, nil
+}
+
+// newGroupFrame allocates the group skeleton (partition bookkeeping,
+// buffers) without shard states.
+func newGroupFrame(n, s, lo, hi int, runner transport.Runner) (*Group, error) {
+	if n < 1 {
+		return nil, errors.New("shard: group with no bins")
+	}
+	if s < 1 || s > n {
+		return nil, fmt.Errorf("shard: %d shards for %d bins", s, n)
+	}
+	if lo < 0 || hi > s || lo >= hi {
+		return nil, fmt.Errorf("shard: group range [%d,%d) outside %d shards", lo, hi, s)
+	}
+	if runner == nil {
+		return nil, errors.New("shard: group with nil runner")
+	}
+	g := &Group{
+		n:        n,
+		s:        s,
+		lo:       lo,
+		hi:       hi,
+		shift:    -1,
+		parts:    make([]shardPart, hi-lo),
+		runner:   runner,
+		released: make([]int, hi-lo),
+		staged:   make([]int, hi-lo),
+	}
+	if q, r := n/s, n%s; r == 0 && q&(q-1) == 0 {
+		g.shift = bits.TrailingZeros(uint(q))
+	}
+	for i := range g.parts {
+		g.parts[i] = shardPart{
+			base: PartitionStart(n, s, lo+i),
+			size: PartitionSize(n, s, lo+i),
+			out:  make([][]int32, s),
+		}
+	}
+	if lo > 0 || hi < s {
+		g.inbox = make([][][]int32, hi-lo)
+		for i := range g.inbox {
+			g.inbox[i] = make([][]int32, s)
+		}
+	}
+	return g, nil
+}
+
+// newPartState builds one shard's engine.State, rebasing the OnEmptied
+// callback to global bin indices.
+func newPartState(loads []int32, base int, onEmptied func(u int)) (*engine.State, error) {
+	var eopts engine.Options
+	if onEmptied != nil {
+		eopts.OnEmptied = func(u int) { onEmptied(base + u) }
+	}
+	return engine.New(loads, eopts)
+}
+
+// prefault runs the worker-pinned page warm-up once: with the pooled
+// runner, each shard's state is touched by the worker that will step it
+// for the engine's lifetime, so lazily-allocated pages are first-touched
+// on the right thread (see engine.State.Prefault).
+func (g *Group) prefault() {
+	g.runner.Run(func(i int) { g.parts[i].state.Prefault() })
+}
+
+// ShardOf returns the global shard owning global bin v. The first n mod S
+// shards hold q+1 bins, the rest q; with a uniform power-of-two partition
+// the lookup is a single shift (the hot path of destination routing).
+func (g *Group) ShardOf(v int) int {
+	if g.shift >= 0 {
+		return v >> g.shift
+	}
+	q, r := g.n/g.s, g.n%g.s
+	big := r * (q + 1)
+	if v < big {
+		return v / (q + 1)
+	}
+	return r + (v-big)/q
+}
+
+// owns reports whether global shard s is held by this group.
+func (g *Group) owns(s int) bool { return s >= g.lo && s < g.hi }
+
+// Release runs the release phase on every owned shard: remove one ball
+// from each non-empty bin, decide the shard's arrival count via arrivals,
+// draw that many uniform destinations in [0, n) from the shard's private
+// stream, and stage them in the per-destination outgoing buffers. Returns
+// after the phase barrier.
+func (g *Group) Release(arrivals Arrivals) {
+	n := g.n
+	g.runner.Run(func(i int) {
+		sh := &g.parts[i]
+		released := sh.state.ReleaseEach(nil)
+		k := arrivals(g.lo+i, released, sh.src)
+		src, out, bound := sh.src, sh.out, uint64(n)
+		if shift := g.shift; shift >= 0 {
+			for j := 0; j < k; j++ {
+				v := src.Uint64n(bound)
+				d := v >> uint(shift)
+				out[d] = append(out[d], int32(v))
+			}
+		} else {
+			for j := 0; j < k; j++ {
+				v := int(src.Uint64n(bound))
+				d := g.ShardOf(v)
+				out[d] = append(out[d], int32(v))
+			}
+		}
+		g.released[i] = released
+		g.staged[i] = k
+	})
+}
+
+// Outgoing returns the staged buffer from owned shard src to global shard
+// dst — the remote leg of the exchange. Valid between Release and Commit;
+// the caller must not retain the slice past Commit (which resets it).
+func (g *Group) Outgoing(src, dst int) []int32 {
+	return g.parts[src-g.lo].out[dst]
+}
+
+// Deliver stages an inbound exchange buffer from remote shard src to owned
+// shard dst, copying it into the group's retained buffer. It must be
+// called between Release and Commit, and at most once per (src, dst) pair
+// per round.
+func (g *Group) Deliver(src, dst int, buf []int32) {
+	i := dst - g.lo
+	g.inbox[i][src] = append(g.inbox[i][src][:0], buf...)
+}
+
+// Commit runs the commit phase on every owned shard: drain the buffers
+// addressed to it — in global source-shard order, in-process sources read
+// directly, remote sources from the delivered inbox — merge the arrivals,
+// and refresh the shard statistics. After the phase barrier the
+// remote-destined outgoing buffers (already shipped by the transport) are
+// reset for the next round.
+func (g *Group) Commit() {
+	g.runner.Run(func(i int) {
+		sh := &g.parts[i]
+		d := g.lo + i
+		base := int32(sh.base)
+		for s := 0; s < g.s; s++ {
+			if g.owns(s) {
+				buf := g.parts[s-g.lo].out[d]
+				sh.state.DepositBatch(buf, base)
+				g.parts[s-g.lo].out[d] = buf[:0]
+			} else {
+				buf := g.inbox[i][s]
+				sh.state.DepositBatch(buf, base)
+				g.inbox[i][s] = buf[:0]
+			}
+		}
+		sh.state.Commit()
+	})
+	if g.lo > 0 || g.hi < g.s {
+		for i := range g.parts {
+			out := g.parts[i].out
+			for d := range out {
+				if !g.owns(d) {
+					out[d] = out[d][:0]
+				}
+			}
+		}
+	}
+}
+
+// N returns the global number of bins.
+func (g *Group) N() int { return g.n }
+
+// Shards returns the global shard count S.
+func (g *Group) Shards() int { return g.s }
+
+// Lo returns the first owned shard.
+func (g *Group) Lo() int { return g.lo }
+
+// Hi returns the shard after the last owned one.
+func (g *Group) Hi() int { return g.hi }
+
+// MaxLoad returns the maximum load over the owned shards. Valid between
+// rounds (after Commit).
+func (g *Group) MaxLoad() int32 {
+	var max int32
+	for i := range g.parts {
+		if m := g.parts[i].state.MaxLoad(); m > max {
+			max = m
+		}
+	}
+	return max
+}
+
+// EmptyBins returns the number of empty bins over the owned shards. Valid
+// between rounds (after Commit).
+func (g *Group) EmptyBins() int {
+	empty := 0
+	for i := range g.parts {
+		empty += g.parts[i].state.EmptyBins()
+	}
+	return empty
+}
+
+// Released returns the number of balls the owned shards released in the
+// last round (0 before the first). Valid from Release on.
+func (g *Group) Released() int {
+	t := 0
+	for _, r := range g.released {
+		t += r
+	}
+	return t
+}
+
+// Staged returns the number of balls the owned shards threw in the last
+// round (0 before the first). Valid from Release on.
+func (g *Group) Staged() int {
+	t := 0
+	for _, k := range g.staged {
+		t += k
+	}
+	return t
+}
+
+// Sum returns the total number of balls currently in the owned shards.
+func (g *Group) Sum() int64 {
+	var t int64
+	for i := range g.parts {
+		t += g.parts[i].state.Sum()
+	}
+	return t
+}
+
+// Load returns the load of global bin u, which must be owned by the group.
+func (g *Group) Load(u int) int32 {
+	sh := &g.parts[g.ShardOf(u)-g.lo]
+	return sh.state.Load(u - sh.base)
+}
+
+// AppendLoads appends the owned shards' loads (in global bin order) to dst
+// and returns the extended slice.
+func (g *Group) AppendLoads(dst []int32) []int32 {
+	for i := range g.parts {
+		dst = append(dst, g.parts[i].state.Loads()...)
+	}
+	return dst
+}
+
+// SnapshotShard captures the checkpoint state of owned shard s (global
+// id). Valid between rounds.
+func (g *Group) SnapshotShard(s int) (ShardSnapshot, error) {
+	sh := &g.parts[s-g.lo]
+	loads, work, err := sh.state.Snapshot()
+	if err != nil {
+		return ShardSnapshot{}, fmt.Errorf("shard %d: %w", s, err)
+	}
+	return ShardSnapshot{RNG: sh.src.State(), Loads: loads, Work: work}, nil
+}
+
+// CheckInvariants verifies every owned shard's internal invariants and the
+// partition bookkeeping, including that no staged exchange buffer leaked
+// past its round.
+func (g *Group) CheckInvariants() error {
+	for i := range g.parts {
+		sh := &g.parts[i]
+		if want := PartitionStart(g.n, g.s, g.lo+i); sh.base != want {
+			return fmt.Errorf("shard: shard %d base %d, want %d", g.lo+i, sh.base, want)
+		}
+		if err := sh.state.CheckInvariants(); err != nil {
+			return fmt.Errorf("shard %d: %w", g.lo+i, err)
+		}
+		for d, buf := range sh.out {
+			if len(buf) != 0 {
+				return fmt.Errorf("shard: leftover %d staged balls %d→%d", len(buf), g.lo+i, d)
+			}
+		}
+	}
+	for i := range g.inbox {
+		for s, buf := range g.inbox[i] {
+			if len(buf) != 0 {
+				return fmt.Errorf("shard: leftover %d delivered balls %d→%d", len(buf), s, g.lo+i)
+			}
+		}
+	}
+	return nil
+}
+
+// Close releases the group's runner. The group must not be used
+// afterwards.
+func (g *Group) Close() error { return g.runner.Close() }

@@ -80,6 +80,9 @@ func (p *Process) Run(k int64) {
 // Engine returns the underlying sharded engine.
 func (p *Process) Engine() *Engine { return p.eng }
 
+// Close releases the engine's transport resources. Idempotent.
+func (p *Process) Close() error { return p.eng.Close() }
+
 // N returns the number of bins.
 func (p *Process) N() int { return p.eng.N() }
 
@@ -206,7 +209,7 @@ func NewTetris(loads []int32, seed uint64, opts TetrisOptions) (*Tetris, error) 
 	case tetris.BinomialArrivals:
 		t.binom = make([]*dist.Binomial, s)
 		for i := range t.binom {
-			b, err := dist.NewBinomial(eng.shards[i].size, lambda)
+			b, err := dist.NewBinomial(eng.shardSize(i), lambda)
 			if err != nil {
 				return nil, err
 			}
@@ -215,7 +218,7 @@ func NewTetris(loads []int32, seed uint64, opts TetrisOptions) (*Tetris, error) 
 	case tetris.PoissonArrivals:
 		t.pois = make([]*dist.Poisson, s)
 		for i := range t.pois {
-			p, err := dist.NewPoisson(lambda * float64(eng.shards[i].size))
+			p, err := dist.NewPoisson(lambda * float64(eng.shardSize(i)))
 			if err != nil {
 				return nil, err
 			}
@@ -266,6 +269,9 @@ func (t *Tetris) Run(k int64) {
 
 // Engine returns the underlying sharded engine.
 func (t *Tetris) Engine() *Engine { return t.eng }
+
+// Close releases the engine's transport resources. Idempotent.
+func (t *Tetris) Close() error { return t.eng.Close() }
 
 // N returns the number of bins.
 func (t *Tetris) N() int { return t.eng.N() }

@@ -21,6 +21,10 @@
 //	           bins, decides its arrival count, draws that many uniform
 //	           destinations in [0, n) from its own stream, and stages them
 //	           in per-(src,dst) message buffers.
+//	exchange — every buffer reaches its destination shard: in-process
+//	           destinations read their source buffers in place, remote
+//	           destinations (multi-process transport) receive serialized
+//	           copies.
 //	commit   — every shard drains the buffers addressed to it (in source
 //	           shard order), merges the arrivals into its local State, and
 //	           refreshes its local statistics.
@@ -31,13 +35,26 @@
 // release and drained only by their destination shard during commit, with
 // the phase barrier ordering the two.
 //
+// # Transports
+//
+// The protocol kernel (Group) is placement-agnostic: where the per-shard
+// phase work executes is delegated to a transport. In-process, Options.
+// Transport selects between a persistent worker pool with shard→worker
+// affinity (TransportPool, the default — each shard is stepped by the same
+// long-lived goroutine for the engine's lifetime) and per-phase goroutine
+// spawning (TransportSpawn, the original behavior). Across processes,
+// internal/shard/transport/proc runs shard ranges in worker processes
+// connected by pipes. All transports execute the identical protocol, so
+// the trajectory never depends on the choice — only wall-clock does.
+//
 // # Determinism contract
 //
 // A run is a pure function of (seed, n, S): shard s performs its arrival-
 // count draws and then exactly one destination draw per staged ball, in
 // local bin order, from its private stream, so neither the number of
-// worker goroutines nor their scheduling can affect the trajectory
-// (Workers only changes wall-clock; the P-invariance test pins this).
+// workers, their placement (pool, spawn, processes), nor their scheduling
+// can affect the trajectory (Workers and Transport only change wall-clock;
+// the P-invariance and transport-invariance tests pin this).
 //
 // The layer is law-equivalent — NOT trajectory-equivalent — to
 // internal/engine: with S shards the destination draws come from S
@@ -52,13 +69,63 @@ package shard
 import (
 	"errors"
 	"fmt"
-	"math/bits"
 	"runtime"
-	"sync"
 
-	"repro/internal/engine"
 	"repro/internal/rng"
+	"repro/internal/shard/transport"
+	"repro/internal/shard/transport/local"
 )
+
+// TransportKind selects the in-process phase-execution transport of an
+// Engine. The trajectory is independent of the choice by construction.
+type TransportKind int
+
+const (
+	// TransportPool is the persistent worker pool with shard→worker
+	// affinity (the default): W long-lived goroutines, each stepping a
+	// fixed contiguous block of shards for the engine's lifetime, so a
+	// shard's working set stays in one core's cache hierarchy and its
+	// lazily-faulted pages are first-touched on the stepping worker.
+	TransportPool TransportKind = iota
+	// TransportSpawn launches fresh goroutines for every phase — the
+	// pre-pool behavior, kept as the ablation baseline and for callers
+	// that create many short-lived engines.
+	TransportSpawn
+)
+
+// String returns the flag spelling of the kind.
+func (k TransportKind) String() string {
+	switch k {
+	case TransportPool:
+		return "pool"
+	case TransportSpawn:
+		return "spawn"
+	}
+	return fmt.Sprintf("TransportKind(%d)", int(k))
+}
+
+// ParseTransportKind parses a transport name: "pool" (or empty, the
+// default) and "spawn".
+func ParseTransportKind(s string) (TransportKind, error) {
+	switch s {
+	case "", "pool":
+		return TransportPool, nil
+	case "spawn":
+		return TransportSpawn, nil
+	}
+	return 0, fmt.Errorf("shard: unknown transport %q (want pool|spawn)", s)
+}
+
+// newRunner builds the in-process runner for the kind.
+func (k TransportKind) newRunner(shards, workers int) (transport.Runner, error) {
+	switch k {
+	case TransportPool:
+		return local.NewPool(shards, workers), nil
+	case TransportSpawn:
+		return local.NewSpawn(shards, workers), nil
+	}
+	return nil, fmt.Errorf("shard: unknown transport kind %d", int(k))
+}
 
 // Options configures an Engine.
 type Options struct {
@@ -71,54 +138,60 @@ type Options struct {
 	// to Shards). 0 means min(GOMAXPROCS, Shards). The trajectory is
 	// independent of Workers.
 	Workers int
+	// Transport selects the in-process phase transport (default
+	// TransportPool). The trajectory is independent of it.
+	Transport TransportKind
 	// OnEmptied, if non-nil, is invoked during the commit phase for every
 	// bin (global index) that was non-empty at the start of the round and
 	// is empty after arrivals merge. Calls for bins of one shard arrive in
-	// increasing bin order from that shard's worker goroutine; calls for
-	// bins of different shards may be concurrent, so the callback must
-	// only touch per-bin (or otherwise shard-disjoint) state.
+	// increasing bin order from that shard's worker; calls for bins of
+	// different shards may be concurrent, so the callback must only touch
+	// per-bin (or otherwise shard-disjoint) state.
 	OnEmptied func(u int)
+}
+
+// resolve clamps the shard and worker counts against n.
+func (o Options) resolve(n int) (s, w int) {
+	s = o.Shards
+	if s <= 0 {
+		s = runtime.GOMAXPROCS(0)
+	}
+	if s > n {
+		s = n
+	}
+	w = o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > s {
+		w = s
+	}
+	return s, w
 }
 
 // Arrivals decides how many uniformly-placed balls shard s contributes in
 // the round that just released `released` balls from s's bins. It runs in
-// the release phase on s's worker goroutine and may draw from src (the
-// shard's private stream); those draws precede the destination draws in
-// the shard's sequence. It must not retain src.
+// the release phase on s's worker and may draw from src (the shard's
+// private stream); those draws precede the destination draws in the
+// shard's sequence. It must not retain src.
 type Arrivals func(s, released int, src *rng.Source) int
 
-// Engine is the sharded round executor. Create with NewEngine; drive it
-// with Step. Not safe for concurrent use (each Step internally fans out to
-// Workers goroutines and joins them before returning).
+// Engine is the sharded round executor over an in-process transport: a
+// Group owning every shard of the run. Create with NewEngine; drive it
+// with Step; Close it to release the transport's workers (an abandoned,
+// unclosed engine is reaped by the garbage collector eventually, but
+// long-lived callers creating many engines should Close deterministically).
+// Not safe for concurrent use (each Step internally fans out to the
+// transport's workers and joins them before returning).
 type Engine struct {
-	n       int
-	shards  []shardPart
+	g       *Group
 	workers int
-	// shift routes a destination to its shard with v >> shift when every
-	// shard has the same power-of-two size (the common n = 2^k case);
-	// −1 selects the general divide-based router.
-	shift int
 
-	round   int64
-	maxLoad int32
-	empty   int
-
-	released []int // per-shard release counts of the in-flight round
-	staged   []int // per-shard arrival counts of the in-flight round
-}
-
-// shardPart is one contiguous partition: a sequential engine.State over the
-// local bins, a private RNG stream, and the outgoing message buffers.
-type shardPart struct {
-	base  int // global index of the first owned bin
-	size  int
-	state *engine.State
-	src   *rng.Source
-	// out[d] holds the global destination bins of balls this shard sends
-	// to shard d in the current round. Written by this shard during
-	// release, drained (and reset) by shard d during commit; the phase
-	// barrier orders the two.
-	out [][]int32
+	round    int64
+	maxLoad  int32
+	empty    int
+	released int
+	staged   int
 }
 
 // NewEngine partitions loads into shards and returns the engine. The
@@ -129,119 +202,25 @@ func NewEngine(loads []int32, seed uint64, opts Options) (*Engine, error) {
 	if n < 1 {
 		return nil, errors.New("shard: NewEngine with no bins")
 	}
-	s := opts.Shards
-	if s <= 0 {
-		s = runtime.GOMAXPROCS(0)
+	s, w := opts.resolve(n)
+	runner, err := opts.Transport.newRunner(s, w)
+	if err != nil {
+		return nil, err
 	}
-	if s > n {
-		s = n
+	g, err := NewGroup(n, s, 0, s, loads, seed, runner, opts.OnEmptied)
+	if err != nil {
+		runner.Close()
+		return nil, err
 	}
-	w := opts.Workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
-	if w > s {
-		w = s
-	}
-	e := &Engine{
-		n:        n,
-		shards:   make([]shardPart, s),
-		workers:  w,
-		released: make([]int, s),
-		staged:   make([]int, s),
-	}
-	base := 0
-	for i := range e.shards {
-		size := PartitionSize(n, s, i)
-		var eopts engine.Options
-		if opts.OnEmptied != nil {
-			cb, off := opts.OnEmptied, base
-			eopts.OnEmptied = func(u int) { cb(off + u) }
-		}
-		st, err := engine.New(loads[base:base+size], eopts)
-		if err != nil {
-			return nil, fmt.Errorf("shard %d: %w", i, err)
-		}
-		e.shards[i] = shardPart{
-			base:  base,
-			size:  size,
-			state: st,
-			src:   rng.NewStream(seed, uint64(i)),
-			out:   make([][]int32, s),
-		}
-		base += size
-	}
-	e.shift = -1
-	if q, r := n/s, n%s; r == 0 && q&(q-1) == 0 {
-		e.shift = bits.TrailingZeros(uint(q))
-	}
+	e := &Engine{g: g, workers: w}
 	e.refreshStats()
 	return e, nil
 }
 
-// PartitionSize returns the canonical size of shard i when n bins are
-// split into s contiguous shards: the first n mod s shards hold one extra
-// bin. It is the single definition of the partition arithmetic —
-// checkpoint decoding validates serialized shard sizes against it.
-func PartitionSize(n, s, i int) int {
-	size := n / s
-	if i < n%s {
-		size++
-	}
-	return size
-}
-
-// shardOf returns the shard owning global bin v. The first n mod S shards
-// hold q+1 bins, the rest q; with a uniform power-of-two partition the
-// lookup is a single shift (the hot path of destination routing).
-func (e *Engine) shardOf(v int) int {
-	if e.shift >= 0 {
-		return v >> e.shift
-	}
-	s := len(e.shards)
-	q, r := e.n/s, e.n%s
-	big := r * (q + 1)
-	if v < big {
-		return v / (q + 1)
-	}
-	return r + (v-big)/q
-}
-
 // refreshStats folds the per-shard statistics into the global ones.
 func (e *Engine) refreshStats() {
-	var max int32
-	empty := 0
-	for i := range e.shards {
-		st := e.shards[i].state
-		if m := st.MaxLoad(); m > max {
-			max = m
-		}
-		empty += st.EmptyBins()
-	}
-	e.maxLoad = max
-	e.empty = empty
-}
-
-// parallel runs f once per shard, distributed round-robin over the
-// workers, and returns after every call completes (the phase barrier).
-func (e *Engine) parallel(f func(i int, sh *shardPart)) {
-	if e.workers == 1 {
-		for i := range e.shards {
-			f(i, &e.shards[i])
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < e.workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < len(e.shards); i += e.workers {
-				f(i, &e.shards[i])
-			}
-		}(w)
-	}
-	wg.Wait()
+	e.maxLoad = e.g.MaxLoad()
+	e.empty = e.g.EmptyBins()
 }
 
 // Step advances one synchronous round: release in parallel (departures,
@@ -249,41 +228,10 @@ func (e *Engine) parallel(f func(i int, sh *shardPart)) {
 // barrier, commit in parallel (drain buffers, merge, local stats),
 // barrier, then fold the global statistics. arrivals must not be nil.
 func (e *Engine) Step(arrivals Arrivals) {
-	n := e.n
-	// Phase 1 — release and stage.
-	e.parallel(func(i int, sh *shardPart) {
-		released := sh.state.ReleaseEach(nil)
-		k := arrivals(i, released, sh.src)
-		src, out, bound := sh.src, sh.out, uint64(n)
-		if shift := e.shift; shift >= 0 {
-			for j := 0; j < k; j++ {
-				v := src.Uint64n(bound)
-				d := v >> uint(shift)
-				out[d] = append(out[d], int32(v))
-			}
-		} else {
-			for j := 0; j < k; j++ {
-				v := int(src.Uint64n(bound))
-				d := e.shardOf(v)
-				out[d] = append(out[d], int32(v))
-			}
-		}
-		e.released[i] = released
-		e.staged[i] = k
-	})
-	// Phase 2 — exchange and commit. Shard i drains out[s][i] for every
-	// source s in increasing s order (arrival order does not affect the
-	// merged loads; a fixed order keeps any OnEmptied side effects and the
-	// buffer resets deterministic).
-	e.parallel(func(i int, sh *shardPart) {
-		base := int32(sh.base)
-		for s := range e.shards {
-			buf := e.shards[s].out[i]
-			sh.state.DepositBatch(buf, base)
-			e.shards[s].out[i] = buf[:0]
-		}
-		sh.state.Commit()
-	})
+	e.g.Release(arrivals)
+	e.g.Commit()
+	e.released = e.g.Released()
+	e.staged = e.g.Staged()
 	e.refreshStats()
 	e.round++
 }
@@ -307,83 +255,106 @@ type EngineSnapshot struct {
 	Shards []ShardSnapshot
 }
 
+// InitialSnapshot builds the round-zero EngineSnapshot of a fresh run —
+// exactly the state NewEngine(loads, seed, Options{Shards: shards}) would
+// snapshot before its first Step — without constructing an engine. The
+// proc transport uses it (serialized through internal/checkpoint) as the
+// worker join payload; shards follows the Options.Shards convention
+// (0 means GOMAXPROCS, clamped to n).
+func InitialSnapshot(loads []int32, seed uint64, shards int) (*EngineSnapshot, error) {
+	n := len(loads)
+	if n < 1 {
+		return nil, errors.New("shard: InitialSnapshot with no bins")
+	}
+	s, _ := Options{Shards: shards}.resolve(n)
+	snap := &EngineSnapshot{N: n, Shards: make([]ShardSnapshot, s)}
+	base := 0
+	for i := range snap.Shards {
+		size := PartitionSize(n, s, i)
+		part := loads[base : base+size]
+		work := make([]uint64, (size+63)/64)
+		for u, l := range part {
+			if l < 0 {
+				return nil, fmt.Errorf("shard: bin %d has negative load %d", base+u, l)
+			}
+			if l > 0 {
+				work[u>>6] |= 1 << uint(u&63)
+			}
+		}
+		snap.Shards[i] = ShardSnapshot{
+			RNG:   rng.NewStream(seed, uint64(i)).State(),
+			Loads: append([]int32(nil), part...),
+			Work:  work,
+		}
+		base += size
+	}
+	return snap, nil
+}
+
 // Snapshot captures the full engine state. Step returns only after both
 // phase barriers, so a snapshot taken by the driving goroutine between
 // Steps is always a consistent whole-run cut — no draining or quiescing
 // protocol is needed beyond "not during a Step call".
 func (e *Engine) Snapshot() (*EngineSnapshot, error) {
 	snap := &EngineSnapshot{
-		N:      e.n,
+		N:      e.g.N(),
 		Round:  e.round,
-		Shards: make([]ShardSnapshot, len(e.shards)),
+		Shards: make([]ShardSnapshot, e.g.Shards()),
 	}
-	for i := range e.shards {
-		sh := &e.shards[i]
-		loads, work, err := sh.state.Snapshot()
+	for i := range snap.Shards {
+		ss, err := e.g.SnapshotShard(i)
 		if err != nil {
-			return nil, fmt.Errorf("shard %d: %w", i, err)
+			return nil, err
 		}
-		snap.Shards[i] = ShardSnapshot{RNG: sh.src.State(), Loads: loads, Work: work}
+		snap.Shards[i] = ss
 	}
 	return snap, nil
 }
 
 // RestoreEngine rebuilds an engine from a snapshot. The shard count comes
 // from the snapshot (opts.Shards is ignored — it is part of the saved
-// random law); Workers and OnEmptied are taken from opts as usual. Every
-// structural property is validated: the per-shard slice sizes must match
-// the canonical partition of N into len(Shards) shards, the worklist words
-// must agree with the loads, and the rng states must be valid. The restored
-// engine's Released/Staged read 0 until its first Step (the in-flight
-// counters of the pre-snapshot round are not part of the trajectory).
+// random law); Workers, Transport and OnEmptied are taken from opts as
+// usual. Every structural property is validated: the per-shard slice sizes
+// must match the canonical partition of N into len(Shards) shards, the
+// worklist words must agree with the loads, and the rng states must be
+// valid. The restored engine's Released/Staged read 0 until its first Step
+// (the in-flight counters of the pre-snapshot round are not part of the
+// trajectory).
 func RestoreEngine(snap *EngineSnapshot, opts Options) (*Engine, error) {
 	if snap == nil {
 		return nil, errors.New("shard: RestoreEngine with nil snapshot")
-	}
-	if snap.Round < 0 {
-		return nil, fmt.Errorf("shard: snapshot round %d < 0", snap.Round)
 	}
 	s := len(snap.Shards)
 	if s < 1 || s > snap.N {
 		return nil, fmt.Errorf("shard: snapshot has %d shards for %d bins", s, snap.N)
 	}
-	loads := make([]int32, 0, snap.N)
-	for i := range snap.Shards {
-		loads = append(loads, snap.Shards[i].Loads...)
-	}
-	if len(loads) != snap.N {
-		return nil, fmt.Errorf("shard: snapshot shards hold %d bins, header says %d", len(loads), snap.N)
-	}
 	opts.Shards = s
-	e, err := NewEngine(loads, 0, opts)
+	_, w := opts.resolve(snap.N)
+	runner, err := opts.Transport.newRunner(s, w)
 	if err != nil {
 		return nil, err
 	}
-	for i := range e.shards {
-		sh := &e.shards[i]
-		ss := &snap.Shards[i]
-		if sh.size != len(ss.Loads) {
-			return nil, fmt.Errorf("shard: snapshot shard %d holds %d bins, partition wants %d", i, len(ss.Loads), sh.size)
-		}
-		if err := sh.state.Restore(ss.Loads, ss.Work); err != nil {
-			return nil, fmt.Errorf("shard %d: %w", i, err)
-		}
-		if err := sh.src.SetState(ss.RNG); err != nil {
-			return nil, fmt.Errorf("shard %d: %w", i, err)
-		}
+	g, err := NewGroupFromSnapshot(snap, 0, s, runner, opts.OnEmptied)
+	if err != nil {
+		runner.Close()
+		return nil, err
 	}
-	e.round = snap.Round
+	e := &Engine{g: g, workers: w, round: snap.Round}
 	e.refreshStats()
 	return e, nil
 }
 
+// Close releases the engine's transport resources (the pool's persistent
+// workers). The engine must not be stepped afterwards. Idempotent.
+func (e *Engine) Close() error { return e.g.Close() }
+
 // N returns the number of bins.
-func (e *Engine) N() int { return e.n }
+func (e *Engine) N() int { return e.g.N() }
 
 // Shards returns the number of shards S.
-func (e *Engine) Shards() int { return len(e.shards) }
+func (e *Engine) Shards() int { return e.g.Shards() }
 
-// Workers returns the number of goroutines used per phase.
+// Workers returns the number of workers used per phase.
 func (e *Engine) Workers() int { return e.workers }
 
 // Round returns the number of completed rounds.
@@ -396,84 +367,43 @@ func (e *Engine) MaxLoad() int32 { return e.maxLoad }
 func (e *Engine) EmptyBins() int { return e.empty }
 
 // NonEmptyBins returns |W(t)|, the current number of non-empty bins.
-func (e *Engine) NonEmptyBins() int { return e.n - e.empty }
+func (e *Engine) NonEmptyBins() int { return e.g.N() - e.empty }
 
 // Released returns the number of balls released in the last round (0
 // before the first round).
-func (e *Engine) Released() int {
-	t := 0
-	for _, r := range e.released {
-		t += r
-	}
-	return t
-}
+func (e *Engine) Released() int { return e.released }
 
 // Staged returns the number of balls thrown in the last round (0 before
 // the first round).
-func (e *Engine) Staged() int {
-	t := 0
-	for _, k := range e.staged {
-		t += k
-	}
-	return t
-}
+func (e *Engine) Staged() int { return e.staged }
+
+// shardOf returns the shard owning global bin v.
+func (e *Engine) shardOf(v int) int { return e.g.ShardOf(v) }
+
+// shardSize returns the bin count of shard i.
+func (e *Engine) shardSize(i int) int { return PartitionSize(e.g.N(), e.g.Shards(), i) }
 
 // Load returns the load of global bin u.
-func (e *Engine) Load(u int) int32 {
-	sh := &e.shards[e.shardOf(u)]
-	return sh.state.Load(u - sh.base)
-}
+func (e *Engine) Load(u int) int32 { return e.g.Load(u) }
 
 // LoadsCopy returns a fresh copy of the full load vector.
 func (e *Engine) LoadsCopy() []int32 {
-	out := make([]int32, 0, e.n)
-	for i := range e.shards {
-		out = append(out, e.shards[i].state.Loads()...)
-	}
-	return out
+	return e.g.AppendLoads(make([]int32, 0, e.g.N()))
 }
 
 // Sum returns the total number of balls currently in the system.
-func (e *Engine) Sum() int64 {
-	var t int64
-	for i := range e.shards {
-		t += e.shards[i].state.Sum()
-	}
-	return t
-}
+func (e *Engine) Sum() int64 { return e.g.Sum() }
 
 // CheckInvariants verifies every shard's internal invariants, the
 // partition bookkeeping and the aggregated statistics.
 func (e *Engine) CheckInvariants() error {
-	base := 0
-	var max int32
-	empty := 0
-	for i := range e.shards {
-		sh := &e.shards[i]
-		if sh.base != base {
-			return fmt.Errorf("shard: shard %d base %d, want %d", i, sh.base, base)
-		}
-		if err := sh.state.CheckInvariants(); err != nil {
-			return fmt.Errorf("shard %d: %w", i, err)
-		}
-		for d, buf := range sh.out {
-			if len(buf) != 0 {
-				return fmt.Errorf("shard: leftover %d staged balls %d→%d", len(buf), i, d)
-			}
-		}
-		if m := sh.state.MaxLoad(); m > max {
-			max = m
-		}
-		empty += sh.state.EmptyBins()
-		base += sh.size
+	if err := e.g.CheckInvariants(); err != nil {
+		return err
 	}
-	if base != e.n {
-		return fmt.Errorf("shard: partition covers %d bins, want %d", base, e.n)
-	}
-	if max != e.maxLoad {
+	if max := e.g.MaxLoad(); max != e.maxLoad {
 		return fmt.Errorf("shard: aggregate max load %d, shards say %d", e.maxLoad, max)
 	}
-	if empty != e.empty {
+	if empty := e.g.EmptyBins(); empty != e.empty {
 		return fmt.Errorf("shard: aggregate empty count %d, shards say %d", e.empty, empty)
 	}
 	return nil

@@ -48,15 +48,15 @@ func TestPartition(t *testing.T) {
 		// differ by at most one.
 		for v := 0; v < tc.n; v++ {
 			i := e.shardOf(v)
-			sh := &e.shards[i]
-			if v < sh.base || v >= sh.base+sh.size {
+			base, size := PartitionStart(tc.n, wantS, i), PartitionSize(tc.n, wantS, i)
+			if v < base || v >= base+size {
 				t.Fatalf("n=%d s=%d: bin %d mapped to shard %d [%d,%d)",
-					tc.n, tc.s, v, i, sh.base, sh.base+sh.size)
+					tc.n, tc.s, v, i, base, base+size)
 			}
 		}
 		min, max := tc.n, 0
-		for i := range e.shards {
-			if sz := e.shards[i].size; sz < min {
+		for i := 0; i < wantS; i++ {
+			if sz := e.shardSize(i); sz < min {
 				min = sz
 			} else if sz > max {
 				max = sz
@@ -109,6 +109,123 @@ func TestWorkerInvariance(t *testing.T) {
 	}
 	if err := b.CheckInvariants(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTransportInvariance is the in-process half of the transport
+// contract: with (seed, n, S) fixed, spawn-per-phase and the persistent
+// pool (at several worker counts) produce byte-identical trajectories.
+// The cross-process half lives in transport/proc's matrix test.
+func TestTransportInvariance(t *testing.T) {
+	const (
+		n      = 1 << 13
+		seed   = 17
+		shards = 8
+		rounds = 250
+	)
+	loads := config.AllInOne(n, n)
+	variants := []Options{
+		{Shards: shards, Workers: 4, Transport: TransportSpawn},
+		{Shards: shards, Workers: 1, Transport: TransportPool},
+		{Shards: shards, Workers: 4, Transport: TransportPool},
+		{Shards: shards, Workers: shards, Transport: TransportPool},
+	}
+	var ref []int32
+	var refMax int32
+	for vi, opts := range variants {
+		p, err := NewProcess(loads, seed, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wm int32
+		for r := 0; r < rounds; r++ {
+			p.Step()
+			if m := p.MaxLoad(); m > wm {
+				wm = m
+			}
+		}
+		if err := p.CheckInvariants(); err != nil {
+			t.Fatalf("variant %d: %v", vi, err)
+		}
+		got := p.LoadsCopy()
+		if err := p.Close(); err != nil {
+			t.Fatalf("variant %d: close: %v", vi, err)
+		}
+		if vi == 0 {
+			ref, refMax = got, wm
+			continue
+		}
+		if wm != refMax {
+			t.Fatalf("variant %d (%v W=%d): window max %d vs %d", vi, opts.Transport, opts.Workers, wm, refMax)
+		}
+		for u := range got {
+			if got[u] != ref[u] {
+				t.Fatalf("variant %d (%v W=%d): bin %d: load %d vs %d", vi, opts.Transport, opts.Workers, u, got[u], ref[u])
+			}
+		}
+	}
+}
+
+// TestTransportKindParse covers the flag surface of the transport enum.
+func TestTransportKindParse(t *testing.T) {
+	for in, want := range map[string]TransportKind{"": TransportPool, "pool": TransportPool, "spawn": TransportSpawn} {
+		got, err := ParseTransportKind(in)
+		if err != nil || got != want {
+			t.Errorf("ParseTransportKind(%q) = %v, %v", in, got, err)
+		}
+		if in != "" && got.String() != in {
+			t.Errorf("%v.String() = %q, want %q", got, got.String(), in)
+		}
+	}
+	if _, err := ParseTransportKind("bogus"); err == nil {
+		t.Error("bogus transport accepted")
+	}
+}
+
+// TestInitialSnapshot pins that the engine-free fresh-run snapshot equals
+// the snapshot of a freshly built engine — the proc transport's fresh-run
+// join payload depends on this identity.
+func TestInitialSnapshot(t *testing.T) {
+	const n, s, seed = 1000, 7, 23
+	loads := config.UniformRandom(n, 1700, rng.New(4))
+	want, err := NewEngine(loads, seed, Options{Shards: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer want.Close()
+	wantSnap, err := want.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := InitialSnapshot(loads, seed, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != wantSnap.N || got.Round != wantSnap.Round || len(got.Shards) != len(wantSnap.Shards) {
+		t.Fatalf("shape: got (%d,%d,%d) want (%d,%d,%d)",
+			got.N, got.Round, len(got.Shards), wantSnap.N, wantSnap.Round, len(wantSnap.Shards))
+	}
+	for i := range got.Shards {
+		g, w := &got.Shards[i], &wantSnap.Shards[i]
+		if g.RNG != w.RNG {
+			t.Fatalf("shard %d: rng state differs", i)
+		}
+		for u := range g.Loads {
+			if g.Loads[u] != w.Loads[u] {
+				t.Fatalf("shard %d bin %d: %d vs %d", i, u, g.Loads[u], w.Loads[u])
+			}
+		}
+		for j := range g.Work {
+			if g.Work[j] != w.Work[j] {
+				t.Fatalf("shard %d word %d: %x vs %x", i, j, g.Work[j], w.Work[j])
+			}
+		}
+	}
+	if _, err := InitialSnapshot(nil, 1, 2); err == nil {
+		t.Error("empty loads accepted")
+	}
+	if _, err := InitialSnapshot([]int32{-1}, 1, 1); err == nil {
+		t.Error("negative load accepted")
 	}
 }
 

@@ -1,0 +1,198 @@
+// Package local implements the in-process transports of the sharded round
+// protocol: Spawn, which launches fresh goroutines for every phase (the
+// original engine behavior), and Pool, a persistent worker pool with
+// shard→worker affinity (the default since the transport refactor).
+//
+// Spawn pays a goroutine create/join per worker per phase — two phases per
+// round — which shows up once rounds get short (small n, many shards) and
+// scatters a shard's state across whichever OS threads the fresh goroutines
+// land on. Pool keeps W long-lived workers, each owning a fixed contiguous
+// block of shards; a shard is stepped by the same worker for the lifetime
+// of the engine, so its working set stays in one core's cache hierarchy
+// (and, with a first-touch NUMA policy, its lazily-faulted pages stay on
+// the node that steps it — see engine.State.Prefault).
+package local
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/shard/transport"
+)
+
+// Spawn is the spawn-per-phase runner: Run starts one goroutine per worker,
+// distributes the shards round-robin, and joins them. It holds no
+// resources; Close is a no-op.
+type Spawn struct {
+	shards  int
+	workers int
+}
+
+// NewSpawn returns a spawn-per-phase runner over shards shards using up to
+// workers goroutines per phase (clamped to [1, shards]).
+func NewSpawn(shards, workers int) *Spawn {
+	return &Spawn{shards: shards, workers: clampWorkers(shards, workers)}
+}
+
+// Run implements transport.Runner.
+func (s *Spawn) Run(f func(i int)) {
+	if s.workers == 1 {
+		for i := 0; i < s.shards; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < s.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < s.shards; i += s.workers {
+				f(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Close implements transport.Runner (no-op).
+func (s *Spawn) Close() error { return nil }
+
+// Workers returns the per-phase goroutine count.
+func (s *Spawn) Workers() int { return s.workers }
+
+// poolShared is the part of a Pool reachable from its worker goroutines and
+// from the GC cleanup. It deliberately excludes the Pool struct itself, so
+// an abandoned Pool becomes unreachable and the cleanup can reap the
+// workers even when Close was never called.
+type poolShared struct {
+	once sync.Once
+	reqs []chan func(i int)
+}
+
+func (s *poolShared) close() {
+	s.once.Do(func() {
+		for _, ch := range s.reqs {
+			close(ch)
+		}
+	})
+}
+
+// Pool is the persistent worker pool: W long-lived goroutines, worker w
+// owning the fixed contiguous shard block [w·S/W, (w+1)·S/W). Every Run
+// executes a shard's work on its owning worker, so the affinity holds
+// across phases and rounds. Close (or garbage collection of an abandoned
+// pool) terminates the workers.
+type Pool struct {
+	shared  *poolShared
+	wg      *sync.WaitGroup
+	shards  int
+	workers int
+	closed  bool
+}
+
+// NewPool starts a pool of up to workers persistent goroutines over shards
+// shards (clamped to [1, shards]). A single-worker pool starts no
+// goroutine at all: the driving goroutine is the persistent worker —
+// affinity and first-touch placement hold trivially — and the channel
+// handoff would be pure overhead.
+func NewPool(shards, workers int) *Pool {
+	w := clampWorkers(shards, workers)
+	p := &Pool{
+		shared:  &poolShared{},
+		wg:      new(sync.WaitGroup),
+		shards:  shards,
+		workers: w,
+	}
+	if w == 1 {
+		return p
+	}
+	p.shared.reqs = make([]chan func(i int), w)
+	for i := 0; i < w; i++ {
+		// Contiguous blocks, remainder spread over the first shards%w
+		// workers — the same arithmetic as the bin partition, so a pool
+		// over S shards with W=S is exactly one shard per worker.
+		lo := blockStart(shards, w, i)
+		hi := blockStart(shards, w, i+1)
+		ch := make(chan func(i int))
+		p.shared.reqs[i] = ch
+		wg := p.wg
+		go func() {
+			for f := range ch {
+				for s := lo; s < hi; s++ {
+					f(s)
+				}
+				wg.Done()
+			}
+		}()
+	}
+	// Safety net for engines that are dropped without Close: the workers
+	// reference only their channel, block bounds and the WaitGroup — never
+	// the Pool — so an abandoned Pool is collectable and this cleanup
+	// closes the request channels, ending the worker goroutines.
+	runtime.AddCleanup(p, func(s *poolShared) { s.close() }, p.shared)
+	return p
+}
+
+// blockStart returns the first shard of worker w's block when shards are
+// split into workers contiguous blocks (first shards mod workers blocks one
+// larger).
+func blockStart(shards, workers, w int) int {
+	q, r := shards/workers, shards%workers
+	if w <= r {
+		return w * (q + 1)
+	}
+	return r*(q+1) + (w-r)*q
+}
+
+// Run implements transport.Runner: each worker applies f to its block; Run
+// returns after every worker has finished (the phase barrier). Run must not
+// be called after Close.
+func (p *Pool) Run(f func(i int)) {
+	if p.closed {
+		panic("local: Pool.Run after Close")
+	}
+	if p.workers == 1 {
+		for i := 0; i < p.shards; i++ {
+			f(i)
+		}
+		return
+	}
+	p.wg.Add(p.workers)
+	for _, ch := range p.shared.reqs {
+		ch <- f
+	}
+	p.wg.Wait()
+}
+
+// Close terminates the worker goroutines. Idempotent.
+func (p *Pool) Close() error {
+	p.closed = true
+	p.shared.close()
+	return nil
+}
+
+// Workers returns the number of persistent workers.
+func (p *Pool) Workers() int { return p.workers }
+
+// clampWorkers resolves a worker-count request against the shard count:
+// 0 means GOMAXPROCS, and the result is clamped to [1, shards].
+func clampWorkers(shards, workers int) int {
+	if shards < 1 {
+		panic(fmt.Sprintf("local: runner over %d shards", shards))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > shards {
+		workers = shards
+	}
+	return workers
+}
+
+// Compile-time interface checks.
+var (
+	_ transport.Runner = (*Spawn)(nil)
+	_ transport.Runner = (*Pool)(nil)
+)

@@ -1,0 +1,413 @@
+package proc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/engine"
+	"repro/internal/shard"
+)
+
+// workerProc is one spawned worker process and its framed pipe endpoint.
+type workerProc struct {
+	cmd    *exec.Cmd
+	stdin  io.WriteCloser
+	c      *conn
+	lo, hi int // owned global shard range
+}
+
+// Engine is the coordinator side of the multi-process transport: it
+// implements the same stepping surface as shard.Process (engine.Stepper
+// plus Snapshot, so checkpoint.Run drives it unchanged) by relaying the
+// round protocol between P worker processes. Create with New (from any
+// checkpoint snapshot) or NewProcess (fresh run); Close terminates the
+// workers. Not safe for concurrent use.
+//
+// Only the repeated balls-into-bins arrival law (every released ball is
+// re-thrown) is supported across processes; the in-process transports
+// carry the other laws.
+//
+// A transport failure mid-run — a worker crash, a broken pipe — is
+// unrecoverable and surfaces as a panic from Step, because engine.Stepper
+// leaves no error channel; the coordinator's state is authoritative only
+// at round boundaries and a half-exchanged round cannot be rolled back.
+type Engine struct {
+	n, s  int
+	procs []*workerProc
+	balls int64
+
+	round            int64
+	maxLoad          int32
+	empty            int
+	released, staged int
+
+	// rbuf[src][dst] are the retained decode buffers of the relay; rows
+	// allocate lazily, so memory follows the (src, dst) pairs that
+	// actually cross processes.
+	rbuf   [][][]int32
+	closed bool
+}
+
+// New spawns opts.Procs worker processes and migrates the snapshot's state
+// into them: each worker receives the checkpoint-serialized run (the join
+// payload) and restores its contiguous shard range from it. The snapshot's
+// shard count is authoritative; opts.Procs is clamped to it.
+func New(snap *checkpoint.Snapshot, opts Options) (*Engine, error) {
+	if snap == nil || snap.Engine == nil {
+		return nil, errors.New("proc: New with nil snapshot")
+	}
+	es := snap.Engine
+	s := len(es.Shards)
+	p := opts.Procs
+	if p < 1 {
+		p = 1
+	}
+	if p > s {
+		p = s
+	}
+	var blob bytes.Buffer
+	if err := checkpoint.Save(&blob, snap); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		n:     es.N,
+		s:     s,
+		round: es.Round,
+		rbuf:  make([][][]int32, s),
+	}
+	// The pre-spawn fold of the snapshot's statistics: the coordinator
+	// never holds live shard state, so the global stats start from the
+	// snapshot and are re-folded from worker messages every round.
+	empty := 0
+	for i := range es.Shards {
+		for _, l := range es.Shards[i].Loads {
+			if l > e.maxLoad {
+				e.maxLoad = l
+			}
+			if l == 0 {
+				empty++
+			}
+			e.balls += int64(l)
+		}
+	}
+	e.empty = empty
+
+	argv := opts.Command
+	if len(argv) == 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("proc: resolving worker binary: %w", err)
+		}
+		argv = []string{exe}
+	}
+	for i := 0; i < p; i++ {
+		w, err := spawnWorker(argv, s, p, i)
+		if err != nil {
+			e.Close()
+			return nil, err
+		}
+		e.procs = append(e.procs, w)
+	}
+	for _, w := range e.procs {
+		c := w.c
+		c.wByte(mInit)
+		c.wU32(protoVersion)
+		c.wU32(uint32(w.lo))
+		c.wU32(uint32(w.hi))
+		c.wU32(uint32(opts.Workers))
+		c.wU64(uint64(blob.Len()))
+		c.wBytes(blob.Bytes())
+		c.flush()
+		if c.err != nil {
+			err := fmt.Errorf("proc: joining worker [%d,%d): %w", w.lo, w.hi, c.err)
+			e.Close()
+			return nil, err
+		}
+	}
+	for _, w := range e.procs {
+		if err := w.c.expect(mInitOK); err != nil {
+			e.Close()
+			return nil, fmt.Errorf("proc: joining worker [%d,%d): %w", w.lo, w.hi, err)
+		}
+	}
+	return e, nil
+}
+
+// NewProcess builds a fresh multi-process rbb run over a copy of loads —
+// the same pure function of (seed, len(loads), shards) as
+// shard.NewProcess, executed across opts.Procs processes.
+func NewProcess(loads []int32, seed uint64, opts Options) (*Engine, error) {
+	es, err := shard.InitialSnapshot(loads, seed, opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	return New(&checkpoint.Snapshot{Seed: seed, Engine: es}, opts)
+}
+
+// spawnWorker launches worker p of procs and assigns its shard range.
+func spawnWorker(argv []string, shards, procs, p int) (*workerProc, error) {
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Env = append(os.Environ(), workerEnvVar+"=1")
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, fmt.Errorf("proc: worker pipe: %w", err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, fmt.Errorf("proc: worker pipe: %w", err)
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("proc: spawning worker: %w", err)
+	}
+	return &workerProc{
+		cmd:   cmd,
+		stdin: stdin,
+		c:     newConn(stdout, stdin),
+		lo:    shard.PartitionStart(shards, procs, p),
+		hi:    shard.PartitionStart(shards, procs, p+1),
+	}, nil
+}
+
+// Step advances one synchronous round across the worker processes. It
+// panics on a transport failure (see the type comment).
+func (e *Engine) Step() {
+	if err := e.step(); err != nil {
+		panic(fmt.Sprintf("proc: round %d: %v", e.round, err))
+	}
+}
+
+func (e *Engine) step() error {
+	if e.closed {
+		return errors.New("engine is closed")
+	}
+	// Release on every worker.
+	for _, w := range e.procs {
+		w.c.wByte(mStep)
+		w.c.flush()
+		if w.c.err != nil {
+			return w.c.err
+		}
+	}
+	// Collect the exchanges: released/staged counts plus every buffer with
+	// a remote destination. The relay retains the decode buffers per
+	// (src, dst) pair, so steady-state rounds allocate nothing.
+	released, staged := 0, 0
+	for _, w := range e.procs {
+		c := w.c
+		if err := c.expect(mExchange); err != nil {
+			return err
+		}
+		released += int(c.rU64())
+		staged += int(c.rU64())
+		nbuf := int(c.rU32())
+		want := (w.hi - w.lo) * (e.s - (w.hi - w.lo))
+		if c.err == nil && nbuf != want {
+			return fmt.Errorf("worker [%d,%d) sent %d buffers, want %d", w.lo, w.hi, nbuf, want)
+		}
+		for i := 0; i < nbuf; i++ {
+			src, dst := int(c.rU32()), int(c.rU32())
+			if c.err != nil {
+				return c.err
+			}
+			if src < w.lo || src >= w.hi || dst < 0 || dst >= e.s || (dst >= w.lo && dst < w.hi) {
+				return fmt.Errorf("worker [%d,%d) sent buffer %d→%d", w.lo, w.hi, src, dst)
+			}
+			if e.rbuf[src] == nil {
+				e.rbuf[src] = make([][]int32, e.s)
+			}
+			e.rbuf[src][dst] = c.rI32Buf(e.rbuf[src][dst])
+		}
+		if c.err != nil {
+			return c.err
+		}
+	}
+	// Relay each worker's inbound buffers and run the commit phase.
+	for _, w := range e.procs {
+		c := w.c
+		c.wByte(mCommit)
+		c.wU32(uint32((e.s - (w.hi - w.lo)) * (w.hi - w.lo)))
+		for src := 0; src < e.s; src++ {
+			if src >= w.lo && src < w.hi {
+				continue
+			}
+			for dst := w.lo; dst < w.hi; dst++ {
+				c.wU32(uint32(src))
+				c.wU32(uint32(dst))
+				var buf []int32
+				if e.rbuf[src] != nil {
+					buf = e.rbuf[src][dst]
+				}
+				c.wI32Buf(buf)
+			}
+		}
+		c.flush()
+		if c.err != nil {
+			return c.err
+		}
+	}
+	// Fold the stats — the round's closing barrier.
+	var max int32
+	empty := 0
+	for _, w := range e.procs {
+		c := w.c
+		if err := c.expect(mStats); err != nil {
+			return err
+		}
+		if m := int32(c.rU32()); m > max {
+			max = m
+		}
+		empty += int(c.rU64())
+		if c.err != nil {
+			return c.err
+		}
+	}
+	e.maxLoad, e.empty = max, empty
+	e.released, e.staged = released, staged
+	e.round++
+	return nil
+}
+
+// Snapshot gathers the full deterministic engine state from the workers —
+// the same whole-run cut shard.Engine.Snapshot produces, so checkpoints
+// written under this transport are byte-identical to in-process ones.
+func (e *Engine) Snapshot() (*shard.EngineSnapshot, error) {
+	if e.closed {
+		return nil, errors.New("proc: Snapshot on closed engine")
+	}
+	snap := &shard.EngineSnapshot{
+		N:      e.n,
+		Round:  e.round,
+		Shards: make([]shard.ShardSnapshot, e.s),
+	}
+	for _, w := range e.procs {
+		w.c.wByte(mSnapshotReq)
+		w.c.flush()
+		if w.c.err != nil {
+			return nil, w.c.err
+		}
+	}
+	for _, w := range e.procs {
+		c := w.c
+		if err := c.expect(mSnapshot); err != nil {
+			return nil, err
+		}
+		for i := w.lo; i < w.hi; i++ {
+			id := int(c.rU32())
+			if c.err == nil && id != i {
+				return nil, fmt.Errorf("proc: snapshot shard %d out of order (want %d)", id, i)
+			}
+			var ss shard.ShardSnapshot
+			for j := range ss.RNG {
+				ss.RNG[j] = c.rU64()
+			}
+			ss.Loads = c.rI32Buf(nil)
+			nwords := int(c.rU32())
+			if c.err == nil && (nwords < 0 || nwords != (len(ss.Loads)+63)/64) {
+				return nil, fmt.Errorf("proc: snapshot shard %d has %d worklist words for %d bins", i, nwords, len(ss.Loads))
+			}
+			for j := 0; j < nwords && c.err == nil; j++ {
+				ss.Work = append(ss.Work, c.rU64())
+			}
+			if c.err != nil {
+				return nil, c.err
+			}
+			if len(ss.Loads) != shard.PartitionSize(e.n, e.s, i) {
+				return nil, fmt.Errorf("proc: snapshot shard %d holds %d bins, partition wants %d", i, len(ss.Loads), shard.PartitionSize(e.n, e.s, i))
+			}
+			snap.Shards[i] = ss
+		}
+	}
+	return snap, nil
+}
+
+// Close shuts the workers down: a quit frame, then pipe close, then a
+// bounded wait (kill on timeout). Idempotent.
+func (e *Engine) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	var firstErr error
+	for _, w := range e.procs {
+		w.c.wByte(mQuit)
+		w.c.flush()
+		w.stdin.Close()
+		done := make(chan error, 1)
+		go func() { done <- w.cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("proc: worker [%d,%d): %w", w.lo, w.hi, err)
+			}
+		case <-time.After(5 * time.Second):
+			w.cmd.Process.Kill()
+			<-done
+			if firstErr == nil {
+				firstErr = fmt.Errorf("proc: worker [%d,%d) did not exit; killed", w.lo, w.hi)
+			}
+		}
+	}
+	return firstErr
+}
+
+// N returns the number of bins.
+func (e *Engine) N() int { return e.n }
+
+// Shards returns the shard count S (the random law's key).
+func (e *Engine) Shards() int { return e.s }
+
+// Procs returns the number of worker processes.
+func (e *Engine) Procs() int { return len(e.procs) }
+
+// Round returns the number of completed rounds.
+func (e *Engine) Round() int64 { return e.round }
+
+// MaxLoad returns the current global maximum bin load.
+func (e *Engine) MaxLoad() int32 { return e.maxLoad }
+
+// EmptyBins returns the current global number of empty bins.
+func (e *Engine) EmptyBins() int { return e.empty }
+
+// NonEmptyBins returns |W(t)|, the current number of non-empty bins.
+func (e *Engine) NonEmptyBins() int { return e.n - e.empty }
+
+// Released returns the number of balls released in the last round.
+func (e *Engine) Released() int { return e.released }
+
+// Staged returns the number of balls thrown in the last round.
+func (e *Engine) Staged() int { return e.staged }
+
+// Balls returns the number of balls m (rbb conserves them).
+func (e *Engine) Balls() int64 { return e.balls }
+
+// Load returns the load of bin u. It gathers a full snapshot per call —
+// O(n) plus a pipe round-trip — and exists for engine.Stepper conformance;
+// per-round statistics come from the folded MaxLoad/EmptyBins.
+func (e *Engine) Load(u int) int32 { return e.LoadsCopy()[u] }
+
+// LoadsCopy returns a fresh copy of the full load vector (a snapshot
+// gather; see Load).
+func (e *Engine) LoadsCopy() []int32 {
+	snap, err := e.Snapshot()
+	if err != nil {
+		panic(fmt.Sprintf("proc: LoadsCopy: %v", err))
+	}
+	out := make([]int32, 0, e.n)
+	for i := range snap.Shards {
+		out = append(out, snap.Shards[i].Loads...)
+	}
+	return out
+}
+
+// Compile-time checks: the coordinator is a checkpoint-able stepper.
+var (
+	_ engine.Stepper     = (*Engine)(nil)
+	_ checkpoint.Process = (*Engine)(nil)
+)

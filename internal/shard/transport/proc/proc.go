@@ -1,0 +1,88 @@
+// Package proc is the multi-process transport of the sharded round
+// protocol: a coordinator Engine in the submitting process drives P worker
+// processes, each holding a contiguous range of the run's shards in a
+// shard.Group stepped by its own in-process worker pool. Exchange buffers
+// and barrier messages travel over the workers' stdin/stdout pipes in a
+// little-endian binary framing; the coordinator relays cross-process
+// buffers (star topology — every pipe pair connects a worker to the
+// coordinator only).
+//
+// # Worker join payload
+//
+// A worker joins by receiving the run's complete state serialized in the
+// internal/checkpoint format — the same blob `rbb-sim -checkpoint` writes —
+// and restoring its shard range from it with the full structural
+// validation of shard.NewGroupFromSnapshot. Fresh runs serialize
+// shard.InitialSnapshot; resumed runs forward the checkpoint file as-is.
+// State migration between process topologies is therefore free: any
+// checkpoint can be reopened under any -procs value (the shard count, not
+// the process count, is the random law's key).
+//
+// # Round protocol
+//
+//	coordinator → workers   step
+//	workers     → coordinator   exchange: released/staged counts + every
+//	                            (src, dst) buffer with a remote destination
+//	coordinator → workers   commit: the inbound buffers of each worker's
+//	                            shards, relayed from their source workers
+//	workers     → coordinator   stats: per-range max load + empty bins
+//
+// The pipe round-trips are the collective barriers: the coordinator sends
+// no commit before reading every exchange, and completes no Step before
+// reading every stats fold, so the two-phase structure of the in-process
+// engine is preserved exactly. The trajectory is the same pure function of
+// (seed, n, S) as in-process execution — pinned byte-for-byte by the
+// transport-invariance matrix test and the CI proc-equivalence gate.
+//
+// # Worker processes
+//
+// Workers are re-executions of the current binary: the coordinator spawns
+// Options.Command (default os.Executable()) with RBB_PROC_WORKER=1 in the
+// environment, and the child's main must call MaybeWorker before doing
+// anything else. cmd/rbb-sim does; so does this package's test binary.
+package proc
+
+import (
+	"fmt"
+	"os"
+)
+
+// workerEnvVar marks a spawned process as a proc-transport worker.
+const workerEnvVar = "RBB_PROC_WORKER"
+
+// IsWorker reports whether this process was spawned as a proc-transport
+// worker.
+func IsWorker() bool { return os.Getenv(workerEnvVar) == "1" }
+
+// MaybeWorker turns the process into a transport worker when it was
+// spawned as one: it runs the worker protocol on stdin/stdout and exits.
+// In any other process it returns immediately. Every binary that
+// constructs a proc Engine must call it first thing in main.
+func MaybeWorker() {
+	if !IsWorker() {
+		return
+	}
+	if err := WorkerMain(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rbb proc worker:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// Options configures a coordinator Engine.
+type Options struct {
+	// Procs is the number of worker processes P (clamped to [1, S]). The
+	// trajectory is independent of it.
+	Procs int
+	// Workers is the per-process pool worker count handed to each
+	// worker's local transport (0 = the worker's GOMAXPROCS). The
+	// trajectory is independent of it.
+	Workers int
+	// Shards is the shard count S used by NewProcess for fresh runs
+	// (Options.Shards convention: 0 = GOMAXPROCS, clamped to n). New
+	// ignores it — a snapshot's shard count is part of the saved law.
+	Shards int
+	// Command is the argv launching one worker process (default:
+	// {os.Executable()}). The launched process must call MaybeWorker.
+	Command []string
+}

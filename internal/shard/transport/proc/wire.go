@@ -1,0 +1,180 @@
+package proc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// protoVersion is the wire protocol version, checked at worker join so a
+// mixed-binary deployment fails loudly instead of desynchronizing.
+const protoVersion = 1
+
+// Message types. Every frame is one type byte followed by a type-specific
+// payload; the per-message layouts are documented next to their writers.
+const (
+	mInit        byte = iota + 1 // c→w: version, lo, hi, workers, checkpoint blob
+	mInitOK                      // w→c: join acknowledged
+	mStep                        // c→w: run the release phase
+	mExchange                    // w→c: released, staged, remote-destined buffers
+	mCommit                      // c→w: inbound buffers; run the commit phase
+	mStats                       // w→c: post-commit max load + empty bins
+	mSnapshotReq                 // c→w: snapshot the owned shards
+	mSnapshot                    // w→c: per-shard checkpoint sections
+	mQuit                        // c→w: exit cleanly
+	mErr                         // w→c: fatal worker error (utf-8 description)
+)
+
+// maxBufLen caps a single decoded exchange buffer (paranoia against a
+// desynchronized stream demanding an absurd allocation; the chunked decode
+// already bounds memory by the bytes actually present). 1<<31 − 1 so the
+// untyped constant still fits an int on 32-bit platforms.
+const maxBufLen = 1<<31 - 1
+
+// conn is one framed pipe endpoint: buffered reads and writes of
+// little-endian values with first-error latching, mirroring the codec
+// style of internal/checkpoint.
+type conn struct {
+	br  *bufio.Reader
+	bw  *bufio.Writer
+	err error
+	b   [8]byte
+}
+
+func newConn(r io.Reader, w io.Writer) *conn {
+	return &conn{br: bufio.NewReaderSize(r, 1<<16), bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func (c *conn) fail(err error) {
+	if c.err == nil && err != nil {
+		c.err = err
+	}
+}
+
+func (c *conn) wBytes(p []byte) {
+	if c.err == nil {
+		_, err := c.bw.Write(p)
+		c.fail(err)
+	}
+}
+
+func (c *conn) wByte(v byte) { c.wBytes([]byte{v}) }
+
+func (c *conn) wU32(v uint32) {
+	binary.LittleEndian.PutUint32(c.b[:4], v)
+	c.wBytes(c.b[:4])
+}
+
+func (c *conn) wU64(v uint64) {
+	binary.LittleEndian.PutUint64(c.b[:8], v)
+	c.wBytes(c.b[:8])
+}
+
+// wI32Buf writes a length-prefixed []int32 in bulk chunks.
+func (c *conn) wI32Buf(vs []int32) {
+	c.wU32(uint32(len(vs)))
+	var chunk [1 << 12]byte
+	for len(vs) > 0 && c.err == nil {
+		k := len(vs)
+		if k > len(chunk)/4 {
+			k = len(chunk) / 4
+		}
+		for i := 0; i < k; i++ {
+			binary.LittleEndian.PutUint32(chunk[4*i:], uint32(vs[i]))
+		}
+		c.wBytes(chunk[:4*k])
+		vs = vs[k:]
+	}
+}
+
+func (c *conn) flush() {
+	if c.err == nil {
+		c.fail(c.bw.Flush())
+	}
+}
+
+func (c *conn) read(n int) []byte {
+	if c.err == nil {
+		if _, err := io.ReadFull(c.br, c.b[:n]); err != nil {
+			if err == io.ErrUnexpectedEOF {
+				err = fmt.Errorf("proc: truncated frame: %w", err)
+			}
+			c.fail(err)
+			for i := range c.b {
+				c.b[i] = 0
+			}
+		}
+	}
+	return c.b[:n]
+}
+
+func (c *conn) rByte() byte  { return c.read(1)[0] }
+func (c *conn) rU32() uint32 { return binary.LittleEndian.Uint32(c.read(4)) }
+func (c *conn) rU64() uint64 { return binary.LittleEndian.Uint64(c.read(8)) }
+
+// rI32Buf reads a length-prefixed []int32 into dst's backing array
+// (growing it as needed) and returns the filled slice. Decoding is chunked
+// so a corrupted length cannot demand memory beyond the bytes present.
+func (c *conn) rI32Buf(dst []int32) []int32 {
+	cnt := int(c.rU32())
+	if c.err != nil {
+		return dst[:0]
+	}
+	if cnt < 0 || cnt > maxBufLen {
+		c.fail(fmt.Errorf("proc: exchange buffer of %d balls", cnt))
+		return dst[:0]
+	}
+	dst = dst[:0]
+	var chunk [1 << 12]byte
+	for got := 0; got < cnt && c.err == nil; {
+		k := cnt - got
+		if k > len(chunk)/4 {
+			k = len(chunk) / 4
+		}
+		if _, err := io.ReadFull(c.br, chunk[:4*k]); err != nil {
+			c.fail(fmt.Errorf("proc: truncated exchange buffer: %w", err))
+			return dst
+		}
+		for i := 0; i < k; i++ {
+			dst = append(dst, int32(binary.LittleEndian.Uint32(chunk[4*i:])))
+		}
+		got += k
+	}
+	return dst
+}
+
+// wErrFrame sends a fatal worker error (best effort).
+func (c *conn) wErrFrame(err error) {
+	c.err = nil // report even after a latched failure
+	msg := []byte(err.Error())
+	c.wByte(mErr)
+	c.wU32(uint32(len(msg)))
+	c.wBytes(msg)
+	c.flush()
+}
+
+// expect reads the next frame type and requires it to be want, decoding a
+// worker error frame into a Go error.
+func (c *conn) expect(want byte) error {
+	t := c.rByte()
+	if c.err != nil {
+		return c.err
+	}
+	if t == mErr {
+		n := int(c.rU32())
+		if c.err != nil || n < 0 || n > 1<<16 {
+			return errors.New("proc: worker failed (unreadable error frame)")
+		}
+		msg := make([]byte, n)
+		if _, err := io.ReadFull(c.br, msg); err != nil {
+			return fmt.Errorf("proc: worker failed (truncated error frame): %w", err)
+		}
+		return fmt.Errorf("proc: worker: %s", msg)
+	}
+	if t != want {
+		return fmt.Errorf("proc: unexpected frame type %d (want %d)", t, want)
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package proc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/checkpoint"
+	"repro/internal/rng"
+	"repro/internal/shard"
+	"repro/internal/shard/transport/local"
+)
+
+// relaunch is the RBB arrival rule — the one law the multi-process
+// transport carries (see the Engine type comment).
+func relaunch(_, released int, _ *rng.Source) int { return released }
+
+// WorkerMain runs the worker side of the protocol on the given pipe
+// endpoints until a quit frame or EOF (the coordinator exiting) and
+// returns the first protocol or engine error. MaybeWorker is the usual
+// entry point; tests call WorkerMain directly from their re-exec hook.
+func WorkerMain(r io.Reader, w io.Writer) error {
+	c := newConn(r, w)
+	g, err := workerJoin(c)
+	if err != nil {
+		c.wErrFrame(err)
+		return err
+	}
+	defer g.Close()
+	if err := workerLoop(c, g); err != nil {
+		c.wErrFrame(err)
+		return err
+	}
+	return nil
+}
+
+// workerJoin handles the init frame: decode the checkpoint join payload
+// and restore the owned shard range from it.
+func workerJoin(c *conn) (*shard.Group, error) {
+	if err := c.expect(mInit); err != nil {
+		return nil, err
+	}
+	if v := c.rU32(); c.err == nil && v != protoVersion {
+		return nil, fmt.Errorf("protocol version %d, worker speaks %d", v, protoVersion)
+	}
+	lo, hi := int(c.rU32()), int(c.rU32())
+	workers := int(c.rU32())
+	blobLen := c.rU64()
+	if c.err != nil {
+		return nil, c.err
+	}
+	if blobLen > 1<<40 {
+		return nil, fmt.Errorf("join payload of %d bytes", blobLen)
+	}
+	blob := make([]byte, int(blobLen))
+	if _, err := io.ReadFull(c.br, blob); err != nil {
+		return nil, fmt.Errorf("truncated join payload: %w", err)
+	}
+	snap, err := checkpoint.Load(bytes.NewReader(blob))
+	if err != nil {
+		return nil, fmt.Errorf("join payload: %w", err)
+	}
+	s := len(snap.Engine.Shards)
+	if lo < 0 || hi > s || lo >= hi {
+		return nil, fmt.Errorf("shard range [%d,%d) outside %d shards", lo, hi, s)
+	}
+	if workers < 0 || workers > 1<<16 {
+		return nil, fmt.Errorf("%d local workers", workers)
+	}
+	g, err := shard.NewGroupFromSnapshot(snap.Engine, lo, hi, local.NewPool(hi-lo, workers), nil)
+	if err != nil {
+		return nil, err
+	}
+	c.wByte(mInitOK)
+	c.flush()
+	return g, c.err
+}
+
+// workerLoop serves rounds and snapshots until quit/EOF.
+func workerLoop(c *conn, g *shard.Group) error {
+	var dbuf []int32 // reusable inbound decode buffer
+	for {
+		t := c.rByte()
+		if c.err != nil {
+			if errors.Is(c.err, io.EOF) {
+				return nil // coordinator gone: clean shutdown
+			}
+			return c.err
+		}
+		switch t {
+		case mStep:
+			g.Release(relaunch)
+			c.wByte(mExchange)
+			c.wU64(uint64(g.Released()))
+			c.wU64(uint64(g.Staged()))
+			c.wU32(uint32((g.Hi() - g.Lo()) * (g.Shards() - (g.Hi() - g.Lo()))))
+			for src := g.Lo(); src < g.Hi(); src++ {
+				for dst := 0; dst < g.Shards(); dst++ {
+					if dst >= g.Lo() && dst < g.Hi() {
+						continue
+					}
+					c.wU32(uint32(src))
+					c.wU32(uint32(dst))
+					c.wI32Buf(g.Outgoing(src, dst))
+				}
+			}
+			c.flush()
+		case mCommit:
+			nbuf := int(c.rU32())
+			for i := 0; i < nbuf && c.err == nil; i++ {
+				src, dst := int(c.rU32()), int(c.rU32())
+				dbuf = c.rI32Buf(dbuf)
+				if c.err != nil {
+					break
+				}
+				if src < 0 || src >= g.Shards() || (src >= g.Lo() && src < g.Hi()) || dst < g.Lo() || dst >= g.Hi() {
+					return fmt.Errorf("inbound buffer %d→%d outside range [%d,%d)", src, dst, g.Lo(), g.Hi())
+				}
+				g.Deliver(src, dst, dbuf)
+			}
+			if c.err != nil {
+				return c.err
+			}
+			g.Commit()
+			c.wByte(mStats)
+			c.wU32(uint32(g.MaxLoad()))
+			c.wU64(uint64(g.EmptyBins()))
+			c.flush()
+		case mSnapshotReq:
+			c.wByte(mSnapshot)
+			for s := g.Lo(); s < g.Hi() && c.err == nil; s++ {
+				ss, err := g.SnapshotShard(s)
+				if err != nil {
+					return err
+				}
+				c.wU32(uint32(s))
+				for _, v := range ss.RNG {
+					c.wU64(v)
+				}
+				c.wI32Buf(ss.Loads)
+				c.wU32(uint32(len(ss.Work)))
+				for _, v := range ss.Work {
+					c.wU64(v)
+				}
+			}
+			c.flush()
+		case mQuit:
+			return nil
+		default:
+			return fmt.Errorf("unexpected frame type %d", t)
+		}
+		if c.err != nil {
+			return c.err
+		}
+	}
+}

@@ -134,7 +134,9 @@ func NewTetris(loads []int32, src *Source, opts TetrisOptions) (*Tetris, error) 
 // ShardOptions configures the data-parallel sharded engine
 // (internal/shard): Shards selects the partition — and with it the random
 // law's decomposition, so a run is a pure function of (seed, n, Shards) —
-// while Workers only selects parallelism and never affects the trajectory.
+// while Workers and Transport (the persistent affinity worker pool, the
+// default, or per-phase goroutine spawning) only select placement and
+// never affect the trajectory.
 type ShardOptions = shard.Options
 
 // ShardedProcess is the data-parallel repeated balls-into-bins engine: the
