@@ -25,6 +25,12 @@
 // placement resumes under any other (-procs included: the snapshot doubles
 // as the worker join payload).
 //
+// Memory and checkpoint size scale with the load storage width: by default
+// each shard stores loads at the narrowest of 8/16/32 bits that fits and
+// widens on demand (max load is Θ(log n) w.h.p., so uint8 is the steady
+// state). -load-width pins a wider floor; -checkpoint-compress flate-
+// compresses the per-shard checkpoint sections. Neither affects results.
+//
 // Examples:
 //
 //	rbb-sim -n 1024 -rounds 10000
@@ -111,8 +117,11 @@ func run(args []string, out io.Writer) error {
 		quant     = fs.String("quantiles", "", "comma-separated probabilities in (0,1); streams P² sketches of the per-round max load and prints them in the summary (e.g. 0.5,0.9,0.99)")
 		ckptPath  = fs.String("checkpoint", "", "write whole-run checkpoints to this file (original process only): every -checkpoint-every rounds, on SIGTERM/SIGINT, and at completion")
 		ckptEvery = fs.Int64("checkpoint-every", 0, "rounds between periodic checkpoints (0 = only on signal and at completion; requires -checkpoint)")
-		resume    = fs.String("resume", "", "resume from a checkpoint file; n, m, seed, shards and quantiles come from the file")
-		jsonOut   = fs.Bool("json", false, "print only the final observer summary as one JSON line (rounds, window max, empty-bin fractions, quantiles) — the format served by rbb-serve")
+		ckptComp  = fs.Bool("checkpoint-compress", false, "flate-compress the per-shard checkpoint sections (format v2; smaller files, identical state; requires -checkpoint)")
+		loadWidth = fs.String("load-width", "auto", "load storage width floor in bits: auto | 8 | 16 | 32 (auto stores each shard at the narrowest width that fits, widening on demand; original|tetris only; never affects results)")
+		resume    = fs.String("resume", "", "resume from a checkpoint file; n, m, seed, shards, quantiles and load widths come from the file")
+		timings   = fs.Bool("timings", false, "add wall-clock fields (ckpt_encode_seconds) to the -json summary; timing is machine noise, so byte-compared summaries must leave it off")
+		jsonOut   = fs.Bool("json", false, "print only the final observer summary as one JSON line (rounds, window max, empty-bin fractions, quantiles, memory) — the format served by rbb-serve")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -126,7 +135,14 @@ func run(args []string, out io.Writer) error {
 	if *ckptEvery > 0 && *ckptPath == "" {
 		return errors.New("-checkpoint-every requires -checkpoint")
 	}
+	if *ckptComp && *ckptPath == "" {
+		return errors.New("-checkpoint-compress requires -checkpoint")
+	}
 	tkind, err := shard.ParseTransportKind(*transp)
+	if err != nil {
+		return err
+	}
+	width, err := engine.ParseWidth(*loadWidth)
 	if err != nil {
 		return err
 	}
@@ -146,6 +162,10 @@ func run(args []string, out io.Writer) error {
 		fixed := map[string]bool{
 			"n": true, "m": true, "seed": true, "init": true, "process": true,
 			"strategy": true, "lambda": true, "d": true, "shards": true, "quantiles": true,
+			// The snapshot records every shard's storage width; a resume-time
+			// floor would change the widths the next checkpoint records and
+			// break byte-identical resume.
+			"load-width": true,
 		}
 		var conflict string
 		fs.Visit(func(f *flag.Flag) {
@@ -156,7 +176,7 @@ func run(args []string, out io.Writer) error {
 		if conflict != "" {
 			return fmt.Errorf("-resume takes -%s from the checkpoint file; drop the flag", conflict)
 		}
-		return runResumed(out, *resume, *rounds, *every, *ckptPath, *ckptEvery, *procs, tkind, *jsonOut)
+		return runResumed(out, *resume, *rounds, *every, *ckptPath, *ckptEvery, *procs, tkind, *ckptComp, *timings, *jsonOut)
 	}
 	if *procs > 1 && *process != "original" {
 		return fmt.Errorf("-procs supports only -process original (got %q)", *process)
@@ -184,12 +204,12 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	shOpts := shard.Options{Shards: *shards, Transport: tkind}
+	shOpts := shard.Options{Shards: *shards, Transport: tkind, Width: width}
 	var s engine.Stepper
 	switch *process {
 	case "original":
 		if *procs > 1 {
-			e, err := proc.NewProcess(loads, *seed, proc.Options{Shards: *shards, Procs: *procs})
+			e, err := proc.NewProcess(loads, *seed, proc.Options{Shards: *shards, Procs: *procs, Width: width})
 			if err != nil {
 				return err
 			}
@@ -262,8 +282,8 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		pol := checkpoint.Policy{Path: *ckptPath, Every: *ckptEvery, Seed: *seed, Pipeline: pipe}
-		return runCheckpointed(out, s.(checkpoint.Process), pipe, pol, *rounds, *every, *jsonOut)
+		pol := checkpoint.Policy{Path: *ckptPath, Every: *ckptEvery, Seed: *seed, Pipeline: pipe, Compress: *ckptComp}
+		return runCheckpointed(out, s.(checkpoint.Process), pipe, pol, *rounds, *every, *timings, *jsonOut)
 	}
 
 	if *jsonOut {
@@ -272,7 +292,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		engine.Run(s, *rounds, pipe)
-		return printSummary(out, pipe)
+		return printSummary(out, pipe.SummaryFor(s))
 	}
 	interval := reportInterval(*every, *rounds)
 	fmt.Fprintf(out, "%10s  %8s  %11s  %10s\n", "round", "max load", "empty frac", "legitimate")
@@ -311,18 +331,18 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// printSummary emits the pipeline summary as one JSON line — the same
-// encoding rbb-serve returns from its result endpoint, so the CI
-// serve-smoke job can diff the two directly.
-func printSummary(out io.Writer, pipe *shard.Pipeline) error {
+// printSummary emits the run summary as one JSON line — the same encoding
+// rbb-serve returns from its result endpoint, so the CI serve-smoke job
+// can diff the two directly.
+func printSummary(out io.Writer, sum shard.Summary) error {
 	enc := json.NewEncoder(out)
-	return enc.Encode(pipe.Summary())
+	return enc.Encode(sum)
 }
 
 // runResumed rebuilds a run from a checkpoint file — in-process, or spread
 // over worker processes when procs > 1 (the snapshot doubles as the worker
 // join payload) — and continues it to the target round.
-func runResumed(out io.Writer, path string, target, every int64, ckptPath string, ckptEvery int64, procs int, tkind shard.TransportKind, jsonOut bool) error {
+func runResumed(out io.Writer, path string, target, every int64, ckptPath string, ckptEvery int64, procs int, tkind shard.TransportKind, compress, timings, jsonOut bool) error {
 	snap, err := checkpoint.ReadFile(path)
 	if err != nil {
 		return err
@@ -371,16 +391,18 @@ func runResumed(out io.Writer, path string, target, every int64, ckptPath string
 		fmt.Fprintf(out, "# original process resumed at round %d, n=%d m=%d seed=%d shards=%d%s (legitimate: max load <= %d)\n",
 			p.Round(), p.N(), balls, snap.Seed, shards, info, threshold)
 	}
-	pol := checkpoint.Policy{Path: ckptPath, Every: ckptEvery, Seed: snap.Seed, Pipeline: pipe}
-	return runCheckpointed(out, p, pipe, pol, target, every, jsonOut)
+	pol := checkpoint.Policy{Path: ckptPath, Every: ckptEvery, Seed: snap.Seed, Pipeline: pipe, Compress: compress}
+	return runCheckpointed(out, p, pipe, pol, target, every, timings, jsonOut)
 }
 
 // runCheckpointed drives a sharded original-process run under a checkpoint
 // policy. When the policy writes anywhere, SIGTERM/SIGINT cancel the run
 // context and checkpoint.Run snapshots and stops at the next round
 // boundary — the same shared path rbb-serve uses for its shutdown.
-func runCheckpointed(out io.Writer, p checkpoint.Process, pipe *shard.Pipeline, pol checkpoint.Policy, target, every int64, jsonOut bool) error {
+func runCheckpointed(out io.Writer, p checkpoint.Process, pipe *shard.Pipeline, pol checkpoint.Policy, target, every int64, timings, jsonOut bool) error {
 	ctx := context.Background()
+	var encSeconds float64
+	pol.OnWrite = func(s float64) { encSeconds = s }
 	if pol.Path != "" {
 		var stop context.CancelFunc
 		ctx, stop = signal.NotifyContext(ctx, syscall.SIGTERM, os.Interrupt)
@@ -413,7 +435,11 @@ func runCheckpointed(out io.Writer, p checkpoint.Process, pipe *shard.Pipeline, 
 		return nil
 	}
 	if jsonOut {
-		return printSummary(out, pipe)
+		sum := pipe.SummaryFor(p)
+		if timings {
+			sum.CkptEncodeSeconds = encSeconds
+		}
+		return printSummary(out, sum)
 	}
 	fmt.Fprintf(out, "\nwindow max load: %d (%.2f x ln n)\n", pipe.WindowMax(), float64(pipe.WindowMax())/math.Log(float64(p.N())))
 	if q := pipe.String(); q != "" {

@@ -1,0 +1,112 @@
+package checkpoint
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/shard"
+)
+
+// The recorded format comparison (BENCH_compact.json, CI bench-smoke):
+// encode and decode throughput and bytes on the wire for the legacy
+// monolithic v1 format against framed v2, raw and flate-compressed, at the
+// acceptance shape n = 2²⁵, S = 8. The state is a dense balanced run a few
+// rounds in — every shard at uint8 storage width, the steady state the
+// Θ(log n) max-load bound makes typical.
+const (
+	benchN      = 1 << 25
+	benchShards = 8
+)
+
+var benchSnap = sync.OnceValue(func() *Snapshot {
+	p, err := shard.NewProcess(config.OnePerBin(benchN), 7, shard.Options{Shards: benchShards})
+	if err != nil {
+		panic(err)
+	}
+	defer p.Close()
+	pipe, err := shard.NewPipeline([]float64{0.5, 0.99})
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 3; i++ {
+		p.Step()
+		pipe.Observe(p)
+	}
+	eng, err := p.Snapshot()
+	if err != nil {
+		panic(err)
+	}
+	return &Snapshot{Seed: 7, Engine: eng, Observer: pipe.Snapshot()}
+})
+
+// countWriter measures bytes on the wire without buffering them.
+type countWriter struct{ n int64 }
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+func benchEncode(b *testing.B, save func(w io.Writer, snap *Snapshot) error) {
+	snap := benchSnap()
+	b.SetBytes(int64(benchN)) // throughput in bins/s
+	b.ResetTimer()
+	var wire int64
+	for i := 0; i < b.N; i++ {
+		var cw countWriter
+		if err := save(&cw, snap); err != nil {
+			b.Fatal(err)
+		}
+		wire = cw.n
+	}
+	b.ReportMetric(float64(wire), "wire-bytes")
+}
+
+func BenchmarkEncodeV1(b *testing.B) {
+	benchEncode(b, saveV1)
+}
+
+func BenchmarkEncodeV2Raw(b *testing.B) {
+	benchEncode(b, func(w io.Writer, snap *Snapshot) error {
+		return SaveOptions(w, snap, Options{})
+	})
+}
+
+func BenchmarkEncodeV2Flate(b *testing.B) {
+	benchEncode(b, func(w io.Writer, snap *Snapshot) error {
+		return SaveOptions(w, snap, Options{Compress: true})
+	})
+}
+
+func benchDecode(b *testing.B, save func(w io.Writer, snap *Snapshot) error) {
+	var buf bytes.Buffer
+	if err := save(&buf, benchSnap()); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(benchN))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Load(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeV1(b *testing.B) {
+	benchDecode(b, saveV1)
+}
+
+func BenchmarkDecodeV2Raw(b *testing.B) {
+	benchDecode(b, func(w io.Writer, snap *Snapshot) error {
+		return SaveOptions(w, snap, Options{})
+	})
+}
+
+func BenchmarkDecodeV2Flate(b *testing.B) {
+	benchDecode(b, func(w io.Writer, snap *Snapshot) error {
+		return SaveOptions(w, snap, Options{Compress: true})
+	})
+}

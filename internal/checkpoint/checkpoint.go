@@ -1,53 +1,88 @@
 // Package checkpoint is the save/restore layer for sharded runs: it gives a
-// poly(n)-window simulation at n = 10⁷–10⁸ — hours of wall-clock — the
+// poly(n)-window simulation at n = 10⁷–10⁹ — hours of wall-clock — the
 // ability to survive a restart or migrate between machines without
 // perturbing the trajectory by a single draw.
 //
-// # Format
+// # Format v2 (current)
 //
-// A checkpoint is a versioned, self-describing little-endian binary blob:
+// A v2 checkpoint is a fixed header followed by independently checksummed
+// frames — one per shard, in shard order, plus an optional observer frame —
+// all little-endian:
 //
-//	magic   [8]byte  "RBBCKPT\n"
-//	version uint32   (currently 1)
-//	seed    uint64   master seed of the run (provenance; restore reads the
-//	                 serialized rng states, not this)
-//	n       uint64   number of bins
-//	shards  uint32   shard count S (the random law's decomposition)
-//	flags   uint32   bit 0: an observer-pipeline section follows the shards
-//	round   uint64   completed rounds at the cut
-//	per shard s = 0..S-1:
+//	header:
+//	  magic   [8]byte  "RBBCKPT\n"
+//	  version uint32   (2)
+//	  seed    uint64   master seed of the run (provenance; restore reads the
+//	                   serialized rng states, not this)
+//	  n       uint64   number of bins
+//	  shards  uint32   shard count S (the random law's decomposition)
+//	  flags   uint32   bit 0: an observer frame follows the shard frames
+//	                   bit 1: frame payloads are flate-compressed
+//	  round   uint64   completed rounds at the cut
+//	  hcrc    uint32   CRC-32C (Castagnoli) of the 40 preceding bytes
+//	frame (one per shard s = 0..S-1, then the observer frame iff flag 0):
+//	  kind    uint8    1 = shard, 2 = observer
+//	  index   uint32   shard id (0 for the observer frame)
+//	  width   uint8    storage width of the loads: 8, 16 or 32 bits
+//	                   (0 for the observer frame)
+//	  enc     uint8    0 = raw, 1 = flate (must match header flag bit 1)
+//	  plen    uint64   encoded payload length in bytes
+//	  payload plen bytes
+//	  fcrc    uint32   CRC-32C of the frame from kind through payload
+//	shard frame payload (before compression):
 //	  rng    [4]uint64  xoshiro256** state of stream (seed, s)
 //	  size   uint64     owned bins (must equal the canonical partition)
-//	  loads  size × int32
+//	  loads  size × (width/8)-byte unsigned values (int32 when width = 32)
 //	  nwords uint64     worklist words (must equal ceil(size/64))
 //	  work   nwords × uint64
-//	observer section (iff flag bit 0):
+//	observer frame payload (before compression):
 //	  rounds uint64; windowmax int32; windowany uint8
 //	  emptymin, emptysum float64; emptyrounds uint64
 //	  nq     uint32
 //	  per quantile: p float64; count uint64; q, pos, want 5 × float64 each
-//	trailer:
-//	  crc    uint32   CRC-32C (Castagnoli) of every preceding byte
+//
+// Frames carry their own CRC so a multi-process run serializes them
+// concurrently — each worker encodes its own shards and streams the frames
+// over its pipe; the coordinator relays bytes and never materializes the
+// whole blob (see internal/shard/transport/proc). The per-frame width is
+// the engine's storage width (Θ(log n) max loads w.h.p. make uint8 the
+// common case), which is what shrinks a checkpoint ~4× before compression.
+//
+// # Format v1 (legacy, still loaded)
+//
+// Version 1 is the monolithic form: the same header fields (no hcrc),
+// every shard section inline with int32 loads, the observer section, and a
+// single trailing CRC-32C over the entire stream. Load accepts both
+// versions; Save always writes v2. A v2 checkpoint at width 32 with
+// compression off carries byte-identical shard payloads to v1's sections.
 //
 // # Integrity
 //
 // Load validates everything it reads — magic, version, partition arithmetic,
 // non-negative loads, worklist word counts, rng-state non-degeneracy,
 // observer marker monotonicity — before the engine ever sees the data, and
-// verifies the CRC trailer; corrupted or truncated input yields an error,
-// never a panic and never a silently wrong resume. The worklist words are
-// redundant with the loads on purpose: shard.RestoreEngine cross-checks the
-// two, so a flipped bit that survives the CRC check (it cannot, but defense
-// in depth is cheap here) is still caught structurally.
+// verifies every CRC; corrupted or truncated input yields an error, never a
+// panic and never a silently wrong resume. Decompression is bounded by the
+// exact expected payload size computed from (n, S, width), so a corrupted
+// length cannot demand absurd memory. The worklist words are redundant with
+// the loads on purpose: shard.RestoreEngine cross-checks the two, so a
+// flipped bit that survives the CRC check (it cannot, but defense in depth
+// is cheap here) is still caught structurally.
 //
 // # Determinism contract
 //
 // A run saved at round t and resumed is byte-identical to the uninterrupted
 // run for every (seed, n, S), S = 1 included: the snapshot carries the raw
 // xoshiro256** state of every shard stream (rng.Source.State/SetState), the
-// full load vector, and the streaming-observer accumulators, which together
-// are the entire reachable state of the round protocol. The test suite and
-// the CI resume-equivalence job pin this.
+// full load vector, the per-shard storage widths (the widening ratchet is
+// deterministic state), and the streaming-observer accumulators, which
+// together are the entire reachable state of the round protocol. An
+// uncompressed checkpoint is additionally a canonical encoding — one state,
+// one byte stream (FuzzLoad pins this); compressed payloads are
+// deterministic within one binary but not across Go releases, so
+// byte-comparison gates use uncompressed checkpoints or files produced by
+// the same binary. The test suite and the CI resume-equivalence job pin
+// the contract.
 package checkpoint
 
 import (
@@ -57,14 +92,31 @@ import (
 	"repro/internal/shard"
 )
 
-// Version is the current format version written by Save.
-const Version = 1
+// Format versions. Save writes Version; Load accepts both.
+const (
+	Version1 = 1
+	Version2 = 2
+	// Version is the current format version written by Save.
+	Version = Version2
+)
 
 // magic identifies a checkpoint file.
 var magic = [8]byte{'R', 'B', 'B', 'C', 'K', 'P', 'T', '\n'}
 
-// flagObserver marks a snapshot carrying an observer-pipeline section.
-const flagObserver = 1 << 0
+// Header flags.
+const (
+	// flagObserver marks a snapshot carrying an observer-pipeline section
+	// (v1) or observer frame (v2).
+	flagObserver = 1 << 0
+	// flagCompress marks flate-compressed frame payloads (v2 only).
+	flagCompress = 1 << 1
+)
+
+// Frame kinds (v2).
+const (
+	frameShard    = 1
+	frameObserver = 2
+)
 
 // Format sanity caps: far above every supported configuration (ROADMAP
 // targets n ≥ 10⁹ ≈ 2³⁰), low enough that a corrupted header cannot demand
@@ -75,9 +127,19 @@ const (
 	maxQuantiles = 1 << 10
 )
 
-// ErrChecksum is returned by Load when the CRC trailer does not match the
-// payload.
+// ErrChecksum is returned by Load when a CRC does not match its payload.
 var ErrChecksum = errors.New("checkpoint: CRC mismatch")
+
+// Options configures serialization.
+type Options struct {
+	// Compress flate-compresses every frame payload (compress/flate at
+	// BestSpeed — the sparse regime's load vectors are mostly small values,
+	// so even the fastest level collapses them). Compressed output is
+	// deterministic within one binary but not guaranteed across Go
+	// releases; leave it off when checkpoints are compared byte-for-byte
+	// across builds.
+	Compress bool
+}
 
 // Snapshot is one whole-run checkpoint: the run's provenance seed, the
 // sharded engine state, and (optionally) the streaming-observer state.

@@ -53,12 +53,98 @@ func (w *leWriter) bool(v bool) {
 	w.bytes([]byte{b})
 }
 
-// Save serializes snap to dst in the versioned binary format, ending with
-// the CRC-32C trailer. The byte stream is a pure function of the snapshot
-// contents (no timestamps, no padding entropy), so two runs that reach the
-// same state produce byte-identical checkpoints — the CI resume-equivalence
-// gate compares files with cmp for exactly this reason.
-func Save(dst io.Writer, snap *Snapshot) error {
+// loads writes the load vector at the given storage width (8, 16 or 32
+// bits per bin, unsigned below 32). Narrow widths go out in bulk chunks:
+// the per-value function-call overhead of the v1 int32 path is most of its
+// encode cost, and the chunked form is what makes narrow checkpoints
+// faster to write, not just smaller. Values must fit the width (the caller
+// range-checks against loadLimit).
+func (w *leWriter) loads(ls []int32, width uint8) {
+	var buf [4096]byte
+	switch width {
+	case 8:
+		for len(ls) > 0 && w.err == nil {
+			k := min(len(ls), len(buf))
+			for i, v := range ls[:k] {
+				buf[i] = byte(v)
+			}
+			w.bytes(buf[:k])
+			ls = ls[k:]
+		}
+	case 16:
+		for len(ls) > 0 && w.err == nil {
+			k := min(len(ls), len(buf)/2)
+			for i, v := range ls[:k] {
+				binary.LittleEndian.PutUint16(buf[2*i:], uint16(v))
+			}
+			w.bytes(buf[:2*k])
+			ls = ls[k:]
+		}
+	default:
+		for _, v := range ls {
+			w.i32(v)
+		}
+	}
+}
+
+// loadLimit is the largest load storable at a width.
+func loadLimit(width uint8) int32 {
+	switch width {
+	case 8:
+		return math.MaxUint8
+	case 16:
+		return math.MaxUint16
+	default:
+		return math.MaxInt32
+	}
+}
+
+// writeShardPayload serializes one shard's state: rng stream state, bin
+// count, loads at the given width, worklist words. At width 32 the bytes
+// are exactly a v1 shard section, which is what makes a v2 width-32
+// uncompressed frame payload byte-identical to its v1 counterpart.
+func writeShardPayload(w *leWriter, sh *shard.ShardSnapshot, width uint8) {
+	for _, v := range sh.RNG {
+		w.u64(v)
+	}
+	w.u64(uint64(len(sh.Loads)))
+	w.loads(sh.Loads, width)
+	w.u64(uint64(len(sh.Work)))
+	for _, v := range sh.Work {
+		w.u64(v)
+	}
+}
+
+// writeObserverFields serializes the observer-pipeline accumulators (the
+// v1 observer section and the v2 observer frame payload share this layout).
+func writeObserverFields(w *leWriter, obs *shard.PipelineSnapshot) {
+	w.u64(uint64(obs.Rounds))
+	w.i32(obs.WindowMax)
+	w.bool(obs.WindowAny)
+	w.f64(obs.EmptyMin)
+	w.f64(obs.EmptySum)
+	w.u64(uint64(obs.EmptyRounds))
+	w.u32(uint32(len(obs.Sketches)))
+	for _, st := range obs.Sketches {
+		w.f64(st.P)
+		w.u64(uint64(st.Count))
+		for _, v := range st.Q {
+			w.f64(v)
+		}
+		for _, v := range st.Pos {
+			w.f64(v)
+		}
+		for _, v := range st.Want {
+			w.f64(v)
+		}
+	}
+}
+
+// saveV1 writes the legacy monolithic v1 format: header, inline int32
+// shard sections, observer section, one whole-stream CRC trailer. It is
+// kept verbatim as the reference encoder behind the v1 golden blob, the
+// compatibility tests and the format benchmarks; Save writes v2.
+func saveV1(dst io.Writer, snap *Snapshot) error {
 	if err := snap.validate(); err != nil {
 		return err
 	}
@@ -66,7 +152,7 @@ func Save(dst io.Writer, snap *Snapshot) error {
 	w := &leWriter{w: bufio.NewWriterSize(io.MultiWriter(dst, crc), 1<<16)}
 
 	w.bytes(magic[:])
-	w.u32(Version)
+	w.u32(Version1)
 	w.u64(snap.Seed)
 	eng := snap.Engine
 	w.u64(uint64(eng.N))
@@ -78,40 +164,10 @@ func Save(dst io.Writer, snap *Snapshot) error {
 	w.u32(flags)
 	w.u64(uint64(eng.Round))
 	for i := range eng.Shards {
-		sh := &eng.Shards[i]
-		for _, v := range sh.RNG {
-			w.u64(v)
-		}
-		w.u64(uint64(len(sh.Loads)))
-		for _, l := range sh.Loads {
-			w.i32(l)
-		}
-		w.u64(uint64(len(sh.Work)))
-		for _, v := range sh.Work {
-			w.u64(v)
-		}
+		writeShardPayload(w, &eng.Shards[i], 32)
 	}
-	if obs := snap.Observer; obs != nil {
-		w.u64(uint64(obs.Rounds))
-		w.i32(obs.WindowMax)
-		w.bool(obs.WindowAny)
-		w.f64(obs.EmptyMin)
-		w.f64(obs.EmptySum)
-		w.u64(uint64(obs.EmptyRounds))
-		w.u32(uint32(len(obs.Sketches)))
-		for _, st := range obs.Sketches {
-			w.f64(st.P)
-			w.u64(uint64(st.Count))
-			for _, v := range st.Q {
-				w.f64(v)
-			}
-			for _, v := range st.Pos {
-				w.f64(v)
-			}
-			for _, v := range st.Want {
-				w.f64(v)
-			}
-		}
+	if snap.Observer != nil {
+		writeObserverFields(w, snap.Observer)
 	}
 	if w.err != nil {
 		return fmt.Errorf("checkpoint: save: %w", w.err)
@@ -151,6 +207,19 @@ func (r *leReader) read(n int) []byte {
 	return r.buf[:n]
 }
 
+// full reads len(p) bytes, latching truncation like read.
+func (r *leReader) full(p []byte) {
+	if r.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(r.r, p); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			err = fmt.Errorf("checkpoint: truncated input: %w", io.ErrUnexpectedEOF)
+		}
+		r.err = err
+	}
+}
+
 func (r *leReader) u64() uint64 { return binary.LittleEndian.Uint64(r.read(8)) }
 func (r *leReader) u32() uint32 { return binary.LittleEndian.Uint32(r.read(4)) }
 
@@ -177,11 +246,7 @@ func (r *leReader) bool() bool {
 // errors out on truncation long before it can demand a huge allocation.
 func (r *leReader) i32Slice(n int) []int32 {
 	const chunk = 1 << 16
-	c := n
-	if c > chunk {
-		c = chunk
-	}
-	out := make([]int32, 0, c)
+	out := make([]int32, 0, min(n, chunk))
 	for len(out) < n && r.err == nil {
 		out = append(out, int32(r.u32()))
 	}
@@ -191,40 +256,163 @@ func (r *leReader) i32Slice(n int) []int32 {
 // u64Slice is the uint64 analogue of i32Slice.
 func (r *leReader) u64Slice(n int) []uint64 {
 	const chunk = 1 << 13
-	c := n
-	if c > chunk {
-		c = chunk
-	}
-	out := make([]uint64, 0, c)
+	out := make([]uint64, 0, min(n, chunk))
 	for len(out) < n && r.err == nil {
 		out = append(out, r.u64())
 	}
 	return out
 }
 
-// Load deserializes one checkpoint from src, validating every field and the
-// CRC trailer; the trailer must be followed by EOF (a checkpoint is a whole
-// file, not a stream prefix). Corrupted or truncated input yields an error;
-// Load never panics and never allocates more than a constant factor of the
-// bytes actually read. The returned snapshot still goes through the structural
-// re-validation of shard.RestoreEngine when it is turned back into a live
-// engine.
-func Load(src io.Reader) (*Snapshot, error) {
-	crc := crc32.New(castagnoli)
-	br := bufio.NewReaderSize(src, 1<<16)
-	r := &leReader{r: io.TeeReader(br, crc)}
+// loadSlice reads n loads stored at the given width, widening to int32.
+// Narrow widths read in bulk chunks (mirroring leWriter.loads); the output
+// grows with the bytes actually present, like i32Slice.
+func (r *leReader) loadSlice(n int, width uint8) []int32 {
+	if width == 32 {
+		return r.i32Slice(n)
+	}
+	const chunk = 1 << 12
+	var buf [2 * chunk]byte
+	out := make([]int32, 0, min(n, chunk))
+	for len(out) < n && r.err == nil {
+		k := min(n-len(out), chunk)
+		if width == 8 {
+			b := buf[:k]
+			r.full(b)
+			if r.err != nil {
+				break
+			}
+			for _, v := range b {
+				out = append(out, int32(v))
+			}
+		} else {
+			b := buf[:2*k]
+			r.full(b)
+			if r.err != nil {
+				break
+			}
+			for i := 0; i < k; i++ {
+				out = append(out, int32(binary.LittleEndian.Uint16(b[2*i:])))
+			}
+		}
+	}
+	return out
+}
 
-	var m [8]byte
-	copy(m[:], r.read(8))
+// readShardPayload parses one shard's state (a v1 section or a v2 frame
+// payload), validating partition arithmetic, rng non-degeneracy and load
+// range. The returned snapshot records the storage width it was read at.
+func readShardPayload(r *leReader, n, s, i int, width uint8) (shard.ShardSnapshot, error) {
+	var sh shard.ShardSnapshot
+	for j := range sh.RNG {
+		sh.RNG[j] = r.u64()
+	}
+	if r.err == nil && sh.RNG[0]|sh.RNG[1]|sh.RNG[2]|sh.RNG[3] == 0 {
+		return sh, fmt.Errorf("checkpoint: shard %d has all-zero rng state", i)
+	}
+	size := shard.PartitionSize(n, s, i)
+	if got := r.u64(); r.err == nil && got != uint64(size) {
+		return sh, fmt.Errorf("checkpoint: shard %d holds %d bins, partition wants %d", i, got, size)
+	}
+	sh.Loads = r.loadSlice(size, width)
+	if width == 32 {
+		// Narrower widths are unsigned on the wire, so only the int32 form
+		// can smuggle a negative load.
+		for _, l := range sh.Loads {
+			if l < 0 {
+				return sh, fmt.Errorf("checkpoint: shard %d has negative load %d", i, l)
+			}
+		}
+	}
+	nwords := (size + 63) / 64
+	if got := r.u64(); r.err == nil && got != uint64(nwords) {
+		return sh, fmt.Errorf("checkpoint: shard %d has %d worklist words, want %d", i, got, nwords)
+	}
+	sh.Work = r.u64Slice(nwords)
+	if r.err != nil {
+		return sh, r.err
+	}
+	sh.Width = width
+	return sh, nil
+}
+
+// readObserverFields parses the observer accumulators (shared by the v1
+// section and the v2 frame payload).
+func readObserverFields(r *leReader) (*shard.PipelineSnapshot, error) {
+	obs := &shard.PipelineSnapshot{}
+	obs.Rounds = r.i64("observer rounds")
+	obs.WindowMax = int32(r.u32())
+	obs.WindowAny = r.bool()
+	obs.EmptyMin = r.f64()
+	obs.EmptySum = r.f64()
+	obs.EmptyRounds = r.i64("observer empty rounds")
+	nq := r.u32()
+	if r.err == nil && nq > maxQuantiles {
+		return nil, fmt.Errorf("checkpoint: %d quantile sketches exceed %d", nq, maxQuantiles)
+	}
+	for q := uint32(0); q < nq && r.err == nil; q++ {
+		var st stats.P2State
+		st.P = r.f64()
+		st.Count = r.i64("sketch count")
+		for j := range st.Q {
+			st.Q[j] = r.f64()
+		}
+		for j := range st.Pos {
+			st.Pos[j] = r.f64()
+		}
+		for j := range st.Want {
+			st.Want[j] = r.f64()
+		}
+		obs.Sketches = append(obs.Sketches, st)
+	}
 	if r.err != nil {
 		return nil, r.err
 	}
-	if m != magic {
-		return nil, errors.New("checkpoint: bad magic (not a checkpoint file)")
+	if obs.WindowMax < 0 {
+		return nil, fmt.Errorf("checkpoint: negative observer window max %d", obs.WindowMax)
 	}
-	if v := r.u32(); r.err == nil && v != Version {
-		return nil, fmt.Errorf("checkpoint: unsupported format version %d (want %d)", v, Version)
+	return obs, nil
+}
+
+// Load deserializes one checkpoint from src — either format version —
+// validating every field and every CRC; the stream must end exactly where
+// the format says it does (a checkpoint is a whole file, not a stream
+// prefix). Corrupted or truncated input yields an error; Load never panics
+// and never allocates more than a constant factor of the bytes actually
+// read. The returned snapshot still goes through the structural
+// re-validation of shard.RestoreEngine when it is turned back into a live
+// engine.
+func Load(src io.Reader) (*Snapshot, error) {
+	br := bufio.NewReaderSize(src, 1<<16)
+	pre, _ := br.Peek(12)
+	if len(pre) >= 8 {
+		var m [8]byte
+		copy(m[:], pre)
+		if m != magic {
+			return nil, errors.New("checkpoint: bad magic (not a checkpoint file)")
+		}
 	}
+	if len(pre) < 12 {
+		return nil, fmt.Errorf("checkpoint: truncated input: %w", io.ErrUnexpectedEOF)
+	}
+	switch ver := binary.LittleEndian.Uint32(pre[8:12]); ver {
+	case Version1:
+		return loadV1(br)
+	case Version2:
+		return loadV2(br)
+	default:
+		return nil, fmt.Errorf("checkpoint: unsupported format version %d (want %d or %d)", ver, Version1, Version2)
+	}
+}
+
+// loadV1 parses the legacy monolithic format. The CRC trailer covers the
+// whole stream from the magic on, so the magic and version are re-read
+// through the tee here (Load only peeked at them).
+func loadV1(br *bufio.Reader) (*Snapshot, error) {
+	crc := crc32.New(castagnoli)
+	r := &leReader{r: io.TeeReader(br, crc)}
+
+	r.read(8) // magic, validated by Load
+	r.u32()   // version, dispatched by Load
 	seed := r.u64()
 	n := r.u64()
 	if r.err == nil && (n < 1 || n > maxBins) {
@@ -249,66 +437,21 @@ func Load(src io.Reader) (*Snapshot, error) {
 		Shards: make([]shard.ShardSnapshot, s),
 	}
 	for i := range eng.Shards {
-		sh := &eng.Shards[i]
-		for j := range sh.RNG {
-			sh.RNG[j] = r.u64()
+		sh, err := readShardPayload(r, int(n), int(s), i, 32)
+		if err != nil {
+			return nil, err
 		}
-		if r.err == nil && sh.RNG[0]|sh.RNG[1]|sh.RNG[2]|sh.RNG[3] == 0 {
-			return nil, fmt.Errorf("checkpoint: shard %d has all-zero rng state", i)
-		}
-		size := shard.PartitionSize(int(n), int(s), i)
-		if got := r.u64(); r.err == nil && got != uint64(size) {
-			return nil, fmt.Errorf("checkpoint: shard %d holds %d bins, partition wants %d", i, got, size)
-		}
-		sh.Loads = r.i32Slice(size)
-		for _, l := range sh.Loads {
-			if l < 0 {
-				return nil, fmt.Errorf("checkpoint: shard %d has negative load %d", i, l)
-			}
-		}
-		nwords := (size + 63) / 64
-		if got := r.u64(); r.err == nil && got != uint64(nwords) {
-			return nil, fmt.Errorf("checkpoint: shard %d has %d worklist words, want %d", i, got, nwords)
-		}
-		sh.Work = r.u64Slice(nwords)
-		if r.err != nil {
-			return nil, r.err
-		}
+		// v1 records no storage width; leave it unrecorded so restore
+		// re-derives the narrowest fit.
+		sh.Width = 0
+		eng.Shards[i] = sh
 	}
 
 	var obs *shard.PipelineSnapshot
 	if flags&flagObserver != 0 {
-		obs = &shard.PipelineSnapshot{}
-		obs.Rounds = r.i64("observer rounds")
-		obs.WindowMax = int32(r.u32())
-		obs.WindowAny = r.bool()
-		obs.EmptyMin = r.f64()
-		obs.EmptySum = r.f64()
-		obs.EmptyRounds = r.i64("observer empty rounds")
-		nq := r.u32()
-		if r.err == nil && nq > maxQuantiles {
-			return nil, fmt.Errorf("checkpoint: %d quantile sketches exceed %d", nq, maxQuantiles)
-		}
-		for q := uint32(0); q < nq && r.err == nil; q++ {
-			var st stats.P2State
-			st.P = r.f64()
-			st.Count = r.i64("sketch count")
-			for j := range st.Q {
-				st.Q[j] = r.f64()
-			}
-			for j := range st.Pos {
-				st.Pos[j] = r.f64()
-			}
-			for j := range st.Want {
-				st.Want[j] = r.f64()
-			}
-			obs.Sketches = append(obs.Sketches, st)
-		}
-		if r.err != nil {
-			return nil, r.err
-		}
-		if obs.WindowMax < 0 {
-			return nil, fmt.Errorf("checkpoint: negative observer window max %d", obs.WindowMax)
+		var err error
+		if obs, err = readObserverFields(r); err != nil {
+			return nil, err
 		}
 	}
 

@@ -2,6 +2,8 @@ package checkpoint
 
 import (
 	"bytes"
+	"encoding/binary"
+	"reflect"
 	"testing"
 
 	"repro/internal/config"
@@ -10,9 +12,12 @@ import (
 
 // FuzzLoad feeds arbitrary bytes to Load: on corrupted, truncated or
 // adversarial input it must return an error — never panic, and never hand
-// back a snapshot that Save cannot reproduce byte-for-byte. The seed corpus
-// holds valid checkpoints (with and without an observer section) so the
-// fuzzer starts from the interesting part of the input space.
+// back a snapshot the matching encoder cannot reproduce. Uncompressed
+// checkpoints (v1 and v2) must round-trip byte-for-byte — one state, one
+// encoding; compressed v2 input must round-trip logically (a crafted flate
+// stream can decode to a valid payload without matching our encoder's
+// bytes). The seed corpus holds valid checkpoints in every format variant
+// so the fuzzer starts from the interesting part of the input space.
 func FuzzLoad(f *testing.F) {
 	for _, withObs := range []bool{false, true} {
 		p, err := shard.NewProcess(config.OnePerBin(70), 3, shard.Options{Shards: 3})
@@ -35,17 +40,23 @@ func FuzzLoad(f *testing.F) {
 		if withObs {
 			snap.Observer = pipe.Snapshot()
 		}
-		var buf bytes.Buffer
-		if err := Save(&buf, snap); err != nil {
-			f.Fatal(err)
+		for _, enc := range []func(*bytes.Buffer) error{
+			func(b *bytes.Buffer) error { return Save(b, snap) },
+			func(b *bytes.Buffer) error { return SaveOptions(b, snap, Options{Compress: true}) },
+			func(b *bytes.Buffer) error { return saveV1(b, snap) },
+		} {
+			var buf bytes.Buffer
+			if err := enc(&buf); err != nil {
+				f.Fatal(err)
+			}
+			f.Add(buf.Bytes())
+			// Truncated, extended and bit-flipped variants widen the corpus.
+			f.Add(buf.Bytes()[:buf.Len()/2])
+			f.Add(append(append([]byte(nil), buf.Bytes()...), 0))
+			flipped := append([]byte(nil), buf.Bytes()...)
+			flipped[buf.Len()/3] ^= 0x80
+			f.Add(flipped)
 		}
-		f.Add(buf.Bytes())
-		// Truncated, extended and bit-flipped variants widen the corpus.
-		f.Add(buf.Bytes()[:buf.Len()/2])
-		f.Add(append(append([]byte(nil), buf.Bytes()...), 0))
-		flipped := append([]byte(nil), buf.Bytes()...)
-		flipped[buf.Len()/3] ^= 0x80
-		f.Add(flipped)
 	}
 	f.Add([]byte{})
 	f.Add([]byte("RBBCKPT\n"))
@@ -55,11 +66,30 @@ func FuzzLoad(f *testing.F) {
 		if err != nil {
 			return
 		}
-		// Anything Load accepts must re-serialize to exactly the accepted
-		// bytes: the format has a single canonical encoding per state.
+		// len(data) >= 36: Load validated magic, version and flags already.
+		version := binary.LittleEndian.Uint32(data[8:12])
+		compressed := version == Version2 && binary.LittleEndian.Uint32(data[32:36])&flagCompress != 0
 		var out bytes.Buffer
-		if err := Save(&out, snap); err != nil {
-			t.Fatalf("Load accepted a snapshot Save rejects: %v", err)
+		switch {
+		case version == Version1:
+			err = saveV1(&out, snap)
+		default:
+			err = SaveOptions(&out, snap, Options{Compress: compressed})
+		}
+		if err != nil {
+			t.Fatalf("Load accepted a snapshot the encoder rejects: %v", err)
+		}
+		if compressed {
+			// Logical round trip: the re-encoded bytes must load back to the
+			// identical snapshot.
+			got, err := Load(bytes.NewReader(out.Bytes()))
+			if err != nil {
+				t.Fatalf("re-encoded snapshot does not load: %v", err)
+			}
+			if !reflect.DeepEqual(got, snap) {
+				t.Fatal("compressed round trip lost state")
+			}
+			return
 		}
 		if !bytes.Equal(out.Bytes(), data) {
 			t.Fatal("accepted input is not canonical")

@@ -3,6 +3,8 @@ package checkpoint
 import (
 	"context"
 	"fmt"
+	"io"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/shard"
@@ -37,6 +39,14 @@ type Policy struct {
 	// rather than a shutdown; at n = 10⁸ that is ~0.5 GB of pointless
 	// file I/O per cancel. nil means always snapshot.
 	InterruptSnapshot func() bool
+	// Compress flate-compresses checkpoint frame payloads (see
+	// Options.Compress for the determinism caveat).
+	Compress bool
+	// OnWrite, if non-nil, is called after every successful checkpoint
+	// write with the wall-clock time the write took (snapshot or stream,
+	// encode and file I/O included). cmd/rbb-sim feeds its
+	// ckpt_encode_seconds summary field from it.
+	OnWrite func(seconds float64)
 }
 
 // Process is the engine surface Run drives: a round stepper that can
@@ -48,6 +58,16 @@ type Policy struct {
 type Process interface {
 	engine.Stepper
 	Snapshot() (*shard.EngineSnapshot, error)
+}
+
+// StreamProcess is implemented by engines that serialize their own
+// checkpoint stream — the proc transport's coordinator, whose workers
+// encode their shards concurrently into self-checksummed frames that the
+// coordinator relays straight to dst. Run prefers this path over
+// Process.Snapshot when it is available: it removes the coordinator-side
+// snapshot gather and whole-blob buffer from checkpointing entirely.
+type StreamProcess interface {
+	StreamCheckpoint(dst io.Writer, seed uint64, obs *shard.PipelineSnapshot, opts Options) error
 }
 
 // Run drives p to round target under pol, notifying obs (and pol.Pipeline)
@@ -82,16 +102,31 @@ func Run(ctx context.Context, p Process, target int64, pol Policy, obs ...engine
 		if pol.Path == "" {
 			return nil
 		}
-		eng, err := p.Snapshot()
-		if err != nil {
-			return err
-		}
-		snap := &Snapshot{Seed: pol.Seed, Engine: eng}
+		start := time.Now()
+		var obs *shard.PipelineSnapshot
 		if pol.Pipeline != nil {
-			snap.Observer = pol.Pipeline.Snapshot()
+			obs = pol.Pipeline.Snapshot()
 		}
-		if err := WriteFile(pol.Path, snap); err != nil {
-			return err
+		opts := Options{Compress: pol.Compress}
+		if sp, ok := p.(StreamProcess); ok {
+			err := WriteFileFunc(pol.Path, func(w io.Writer) error {
+				return sp.StreamCheckpoint(w, pol.Seed, obs, opts)
+			})
+			if err != nil {
+				return err
+			}
+		} else {
+			eng, err := p.Snapshot()
+			if err != nil {
+				return err
+			}
+			snap := &Snapshot{Seed: pol.Seed, Engine: eng, Observer: obs}
+			if err := WriteFileOptions(pol.Path, snap, opts); err != nil {
+				return err
+			}
+		}
+		if pol.OnWrite != nil {
+			pol.OnWrite(time.Since(start).Seconds())
 		}
 		written = p.Round()
 		return nil

@@ -101,7 +101,7 @@ func TestRestartResume(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	refSum := pipe.Summary()
+	refSum := pipe.SummaryFor(p)
 	if !reflect.DeepEqual(*final.Summary, refSum) {
 		t.Fatalf("resumed summary diverged from uninterrupted run:\n got %+v\nwant %+v", *final.Summary, refSum)
 	}

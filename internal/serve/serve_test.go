@@ -71,7 +71,7 @@ func refSummary(t *testing.T, spec Spec) shard.Summary {
 		st = tp
 	}
 	engine.Run(st, spec.Rounds, pipe)
-	return pipe.Summary()
+	return pipe.SummaryFor(st)
 }
 
 // submit POSTs a spec and returns the accepted RunInfo.

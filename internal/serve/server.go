@@ -660,7 +660,7 @@ func (s *Server) runRBB(ctx context.Context, r *run, spec Spec) (int64, bool, *s
 	if err != nil {
 		return round, interrupted, nil, err
 	}
-	sum := pipe.Summary()
+	sum := pipe.SummaryFor(p)
 	return round, interrupted, &sum, nil
 }
 
@@ -693,7 +693,7 @@ func (s *Server) runTetris(ctx context.Context, r *run, spec Spec) (int64, bool,
 	if stopped {
 		return tp.Round(), true, nil, nil
 	}
-	sum := pipe.Summary()
+	sum := pipe.SummaryFor(tp)
 	return tp.Round(), false, &sum, nil
 }
 

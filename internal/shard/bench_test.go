@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/rng"
 )
 
@@ -91,6 +92,33 @@ func benchTransport(b *testing.B, n, shards int, kind TransportKind) {
 	for i := 0; i < b.N; i++ {
 		p.Step()
 	}
+}
+
+// The storage-width ablation pair (BENCH_compact.json): the identical
+// dense balanced round stepped with loads held in uint8 cells (the auto
+// steady state — max load is Θ(log n) w.h.p.) versus a pinned int32 floor,
+// the pre-compaction representation. Same trajectory, 4× less load-vector
+// traffic per round at width 8.
+func benchWidth(b *testing.B, w engine.Width) {
+	p, err := NewProcess(config.OnePerBin(benchN), 1,
+		Options{Shards: benchShards, Workers: 1, Width: w})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	b.SetBytes(int64(benchN))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step()
+	}
+}
+
+func BenchmarkShardDenseWidth8(b *testing.B) {
+	benchWidth(b, engine.Width8)
+}
+
+func BenchmarkShardDenseWidth32(b *testing.B) {
+	benchWidth(b, engine.Width32)
 }
 
 func BenchmarkShardPoolSmallS64(b *testing.B) {

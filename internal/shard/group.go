@@ -85,9 +85,10 @@ func PartitionStart(n, s, i int) int {
 // hold exactly the bins of those shards, i.e. the global range
 // [PartitionStart(lo), PartitionStart(hi))). Shard i draws from
 // rng.NewStream(seed, i). onEmptied, if non-nil, is invoked with global
-// bin indices as documented on Options.OnEmptied. The group takes
-// ownership of runner and closes it with Close.
-func NewGroup(n, s, lo, hi int, loads []int32, seed uint64, runner transport.Runner, onEmptied func(u int)) (*Group, error) {
+// bin indices as documented on Options.OnEmptied; width is the per-shard
+// storage floor (Options.Width). The group takes ownership of runner and
+// closes it with Close.
+func NewGroup(n, s, lo, hi int, loads []int32, seed uint64, runner transport.Runner, onEmptied func(u int), width engine.Width) (*Group, error) {
 	g, err := newGroupFrame(n, s, lo, hi, runner)
 	if err != nil {
 		return nil, err
@@ -98,7 +99,7 @@ func NewGroup(n, s, lo, hi int, loads []int32, seed uint64, runner transport.Run
 	off := 0
 	for i := range g.parts {
 		sh := &g.parts[i]
-		st, err := newPartState(loads[off:off+sh.size], sh.base, onEmptied)
+		st, err := newPartState(loads[off:off+sh.size], sh.base, onEmptied, width)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", lo+i, err)
 		}
@@ -111,11 +112,15 @@ func NewGroup(n, s, lo, hi int, loads []int32, seed uint64, runner transport.Run
 }
 
 // NewGroupFromSnapshot builds the kernel for shards [lo, hi) from a
-// whole-run snapshot, restoring each owned shard's loads, worklist and rng
-// stream with the same structural cross-checks as RestoreEngine. The proc
-// transport uses it — with the serialized checkpoint as the join payload —
-// to migrate shard ranges into worker processes.
-func NewGroupFromSnapshot(snap *EngineSnapshot, lo, hi int, runner transport.Runner, onEmptied func(u int)) (*Group, error) {
+// whole-run snapshot, restoring each owned shard's loads, worklist, rng
+// stream and storage width with the same structural cross-checks as
+// RestoreEngine (width is the restore-side floor; a shard never restores
+// narrower than its snapshot recorded, so resumed runs keep the ratchet).
+// The proc transport uses it — with the serialized checkpoint as the join
+// payload — to migrate shard ranges into worker processes. Only the
+// snapshot entries of shards [lo, hi) are read, so a sub-range caller may
+// hand in a sparsely populated Shards slice.
+func NewGroupFromSnapshot(snap *EngineSnapshot, lo, hi int, runner transport.Runner, onEmptied func(u int), width engine.Width) (*Group, error) {
 	if snap == nil {
 		return nil, errors.New("shard: NewGroupFromSnapshot with nil snapshot")
 	}
@@ -136,11 +141,14 @@ func NewGroupFromSnapshot(snap *EngineSnapshot, lo, hi int, runner transport.Run
 		if sh.size != len(ss.Loads) {
 			return nil, fmt.Errorf("shard: snapshot shard %d holds %d bins, partition wants %d", lo+i, len(ss.Loads), sh.size)
 		}
-		st, err := newPartState(ss.Loads, sh.base, onEmptied)
+		st, err := newPartState(ss.Loads, sh.base, onEmptied, width)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", lo+i, err)
 		}
 		if err := st.Restore(ss.Loads, ss.Work); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", lo+i, err)
+		}
+		if err := st.WidenTo(engine.Width(ss.Width)); err != nil {
 			return nil, fmt.Errorf("shard %d: %w", lo+i, err)
 		}
 		sh.state = st
@@ -200,8 +208,8 @@ func newGroupFrame(n, s, lo, hi int, runner transport.Runner) (*Group, error) {
 
 // newPartState builds one shard's engine.State, rebasing the OnEmptied
 // callback to global bin indices.
-func newPartState(loads []int32, base int, onEmptied func(u int)) (*engine.State, error) {
-	var eopts engine.Options
+func newPartState(loads []int32, base int, onEmptied func(u int), width engine.Width) (*engine.State, error) {
+	eopts := engine.Options{Width: width}
 	if onEmptied != nil {
 		eopts.OnEmptied = func(u int) { onEmptied(base + u) }
 	}
@@ -389,9 +397,19 @@ func (g *Group) Load(u int) int32 {
 // and returns the extended slice.
 func (g *Group) AppendLoads(dst []int32) []int32 {
 	for i := range g.parts {
-		dst = append(dst, g.parts[i].state.Loads()...)
+		dst = g.parts[i].state.AppendLoads(dst)
 	}
 	return dst
+}
+
+// LoadBytes returns the resident bytes of the owned shards' load vectors
+// and staging areas at their current storage widths.
+func (g *Group) LoadBytes() int64 {
+	var t int64
+	for i := range g.parts {
+		t += g.parts[i].state.LoadBytes()
+	}
+	return t
 }
 
 // SnapshotShard captures the checkpoint state of owned shard s (global
@@ -402,7 +420,7 @@ func (g *Group) SnapshotShard(s int) (ShardSnapshot, error) {
 	if err != nil {
 		return ShardSnapshot{}, fmt.Errorf("shard %d: %w", s, err)
 	}
-	return ShardSnapshot{RNG: sh.src.State(), Loads: loads, Work: work}, nil
+	return ShardSnapshot{RNG: sh.src.State(), Loads: loads, Work: work, Width: uint8(sh.state.Width())}, nil
 }
 
 // CheckInvariants verifies every owned shard's internal invariants and the

@@ -140,6 +140,17 @@ type Summary struct {
 	EmptyMin  float64            `json:"empty_min"`
 	EmptyMean float64            `json:"empty_mean"`
 	Quantiles []QuantileEstimate `json:"quantiles,omitempty"`
+	// MemBytesPerBin is the resident load-storage bytes per bin at the end
+	// of the run (SummaryFor fills it when the stepper reports LoadBytes).
+	// Storage widths only ever ratchet up, so the final figure is also the
+	// peak. It is a deterministic function of the trajectory and the width
+	// floor — safe for byte-compared summaries.
+	MemBytesPerBin float64 `json:"mem_bytes_per_bin,omitempty"`
+	// CkptEncodeSeconds is the wall-clock time of the last checkpoint
+	// write. Timing is machine noise, not trajectory: callers fill it only
+	// when explicitly asked (rbb-sim -timings), so default summaries stay
+	// byte-comparable.
+	CkptEncodeSeconds float64 `json:"ckpt_encode_seconds,omitempty"`
 }
 
 // Summary returns the current digest of the pipeline.
@@ -154,6 +165,17 @@ func (p *Pipeline) Summary() Summary {
 		s.Quantiles = append(s.Quantiles, QuantileEstimate{P: p.probs[i], Estimate: sk.Quantile()})
 	}
 	return s
+}
+
+// SummaryFor returns the current digest with memory accounting taken from
+// the stepper that produced the trajectory: when s reports LoadBytes (the
+// sharded engines and the proc coordinator do), MemBytesPerBin is filled.
+func (p *Pipeline) SummaryFor(s engine.Stepper) Summary {
+	sum := p.Summary()
+	if lb, ok := s.(interface{ LoadBytes() int64 }); ok && s.N() > 0 {
+		sum.MemBytesPerBin = float64(lb.LoadBytes()) / float64(s.N())
+	}
+	return sum
 }
 
 // Quantiles returns the tracked probabilities (sorted) and the current

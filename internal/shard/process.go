@@ -107,6 +107,10 @@ func (p *Process) Load(u int) int32 { return p.eng.Load(u) }
 // LoadsCopy returns a fresh copy of the current load vector.
 func (p *Process) LoadsCopy() []int32 { return p.eng.LoadsCopy() }
 
+// LoadBytes returns the resident bytes of the load vectors and staging
+// areas (see Engine.LoadBytes).
+func (p *Process) LoadBytes() int64 { return p.eng.LoadBytes() }
+
 // CheckInvariants verifies ball conservation and the engine invariants.
 func (p *Process) CheckInvariants() error {
 	if err := p.eng.CheckInvariants(); err != nil {
@@ -269,6 +273,10 @@ func (t *Tetris) Run(k int64) {
 
 // Engine returns the underlying sharded engine.
 func (t *Tetris) Engine() *Engine { return t.eng }
+
+// LoadBytes returns the resident bytes of the load vectors and staging
+// areas (see Engine.LoadBytes).
+func (t *Tetris) LoadBytes() int64 { return t.eng.LoadBytes() }
 
 // Close releases the engine's transport resources. Idempotent.
 func (t *Tetris) Close() error { return t.eng.Close() }

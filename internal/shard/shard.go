@@ -71,6 +71,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"repro/internal/engine"
 	"repro/internal/rng"
 	"repro/internal/shard/transport"
 	"repro/internal/shard/transport/local"
@@ -148,6 +149,11 @@ type Options struct {
 	// different shards may be concurrent, so the callback must only touch
 	// per-bin (or otherwise shard-disjoint) state.
 	OnEmptied func(u int)
+	// Width is the per-shard load-storage floor (default engine.WidthAuto:
+	// each shard stores at the narrowest width fitting its loads and widens
+	// on demand). The trajectory is independent of it; only memory and the
+	// recorded snapshot widths depend on it.
+	Width engine.Width
 }
 
 // resolve clamps the shard and worker counts against n.
@@ -207,7 +213,7 @@ func NewEngine(loads []int32, seed uint64, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	g, err := NewGroup(n, s, 0, s, loads, seed, runner, opts.OnEmptied)
+	g, err := NewGroup(n, s, 0, s, loads, seed, runner, opts.OnEmptied, opts.Width)
 	if err != nil {
 		runner.Close()
 		return nil, err
@@ -237,12 +243,18 @@ func (e *Engine) Step(arrivals Arrivals) {
 }
 
 // ShardSnapshot is the checkpointed state of one shard: its private rng
-// stream, its local load slice and its local worklist words (the latter are
-// derivable from the loads; carrying both lets restore cross-check them).
+// stream, its local load slice, its local worklist words (the latter are
+// derivable from the loads; carrying both lets restore cross-check them)
+// and its storage width. The width is part of the deterministic state — the
+// engine-level ratchet may hold a shard wider than its current values
+// require, and a resumed run must keep that width so later snapshots stay
+// byte-identical to the uninterrupted run's. Width 0 means "unrecorded"
+// (format v1 checkpoints): restore re-derives the narrowest fitting width.
 type ShardSnapshot struct {
 	RNG   [4]uint64
 	Loads []int32
 	Work  []uint64
+	Width uint8
 }
 
 // EngineSnapshot is the complete deterministic state of an Engine between
@@ -256,12 +268,14 @@ type EngineSnapshot struct {
 }
 
 // InitialSnapshot builds the round-zero EngineSnapshot of a fresh run —
-// exactly the state NewEngine(loads, seed, Options{Shards: shards}) would
-// snapshot before its first Step — without constructing an engine. The
-// proc transport uses it (serialized through internal/checkpoint) as the
-// worker join payload; shards follows the Options.Shards convention
-// (0 means GOMAXPROCS, clamped to n).
-func InitialSnapshot(loads []int32, seed uint64, shards int) (*EngineSnapshot, error) {
+// exactly the state NewEngine(loads, seed, Options{Shards: shards,
+// Width: width}) would snapshot before its first Step — without
+// constructing an engine. The proc transport uses it (serialized through
+// internal/checkpoint) as the worker join payload; shards follows the
+// Options.Shards convention (0 means GOMAXPROCS, clamped to n) and width
+// the Options.Width one (the floor of each shard's auto-fitted storage
+// width).
+func InitialSnapshot(loads []int32, seed uint64, shards int, width engine.Width) (*EngineSnapshot, error) {
 	n := len(loads)
 	if n < 1 {
 		return nil, errors.New("shard: InitialSnapshot with no bins")
@@ -273,18 +287,23 @@ func InitialSnapshot(loads []int32, seed uint64, shards int) (*EngineSnapshot, e
 		size := PartitionSize(n, s, i)
 		part := loads[base : base+size]
 		work := make([]uint64, (size+63)/64)
+		var max int32
 		for u, l := range part {
 			if l < 0 {
 				return nil, fmt.Errorf("shard: bin %d has negative load %d", base+u, l)
 			}
 			if l > 0 {
 				work[u>>6] |= 1 << uint(u&63)
+				if l > max {
+					max = l
+				}
 			}
 		}
 		snap.Shards[i] = ShardSnapshot{
 			RNG:   rng.NewStream(seed, uint64(i)).State(),
 			Loads: append([]int32(nil), part...),
 			Work:  work,
+			Width: uint8(engine.WidthFor(max, width)),
 		}
 		base += size
 	}
@@ -334,7 +353,7 @@ func RestoreEngine(snap *EngineSnapshot, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	g, err := NewGroupFromSnapshot(snap, 0, s, runner, opts.OnEmptied)
+	g, err := NewGroupFromSnapshot(snap, 0, s, runner, opts.OnEmptied, opts.Width)
 	if err != nil {
 		runner.Close()
 		return nil, err
@@ -393,6 +412,13 @@ func (e *Engine) LoadsCopy() []int32 {
 
 // Sum returns the total number of balls currently in the system.
 func (e *Engine) Sum() int64 { return e.g.Sum() }
+
+// LoadBytes returns the resident bytes of the engine's load vectors and
+// arrival staging areas at their current storage widths — the memory the
+// compact representation is accountable for (worklists, buffers and
+// scratch are excluded). Deterministic for a given trajectory, so it is
+// safe to report in byte-compared summaries.
+func (e *Engine) LoadBytes() int64 { return e.g.LoadBytes() }
 
 // CheckInvariants verifies every shard's internal invariants, the
 // partition bookkeeping and the aggregated statistics.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/tetris"
@@ -197,7 +198,7 @@ func TestInitialSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := InitialSnapshot(loads, seed, s)
+	got, err := InitialSnapshot(loads, seed, s, engine.WidthAuto)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,10 +222,10 @@ func TestInitialSnapshot(t *testing.T) {
 			}
 		}
 	}
-	if _, err := InitialSnapshot(nil, 1, 2); err == nil {
+	if _, err := InitialSnapshot(nil, 1, 2, engine.WidthAuto); err == nil {
 		t.Error("empty loads accepted")
 	}
-	if _, err := InitialSnapshot([]int32{-1}, 1, 1); err == nil {
+	if _, err := InitialSnapshot([]int32{-1}, 1, 1, engine.WidthAuto); err == nil {
 		t.Error("negative load accepted")
 	}
 }

@@ -46,6 +46,7 @@ type Engine struct {
 	maxLoad          int32
 	empty            int
 	released, staged int
+	loadBytes        int64
 
 	// rbuf[src][dst] are the retained decode buffers of the relay; rows
 	// allocate lazily, so memory follows the (src, dst) pairs that
@@ -55,9 +56,12 @@ type Engine struct {
 }
 
 // New spawns opts.Procs worker processes and migrates the snapshot's state
-// into them: each worker receives the checkpoint-serialized run (the join
-// payload) and restores its contiguous shard range from it. The snapshot's
-// shard count is authoritative; opts.Procs is clamped to it.
+// into them: each worker receives the checkpoint v2 header plus one frame
+// per shard it owns — only its own slice of the run — and restores its
+// contiguous range from them. The coordinator never serializes the whole
+// run into one buffer; per-worker join payloads are encoded and sent
+// worker by worker. The snapshot's shard count is authoritative;
+// opts.Procs is clamped to it.
 func New(snap *checkpoint.Snapshot, opts Options) (*Engine, error) {
 	if snap == nil || snap.Engine == nil {
 		return nil, errors.New("proc: New with nil snapshot")
@@ -71,8 +75,19 @@ func New(snap *checkpoint.Snapshot, opts Options) (*Engine, error) {
 	if p > s {
 		p = s
 	}
-	var blob bytes.Buffer
-	if err := checkpoint.Save(&blob, snap); err != nil {
+	switch opts.Width {
+	case engine.WidthAuto, engine.Width8, engine.Width16, engine.Width32:
+	default:
+		return nil, fmt.Errorf("proc: invalid load width %d", opts.Width)
+	}
+	var header bytes.Buffer
+	err := checkpoint.WriteHeader(&header, checkpoint.Header{
+		Seed:   snap.Seed,
+		N:      es.N,
+		Shards: s,
+		Round:  es.Round,
+	})
+	if err != nil {
 		return nil, err
 	}
 	e := &Engine{
@@ -114,6 +129,7 @@ func New(snap *checkpoint.Snapshot, opts Options) (*Engine, error) {
 		}
 		e.procs = append(e.procs, w)
 	}
+	var frame []byte
 	for _, w := range e.procs {
 		c := w.c
 		c.wByte(mInit)
@@ -121,8 +137,17 @@ func New(snap *checkpoint.Snapshot, opts Options) (*Engine, error) {
 		c.wU32(uint32(w.lo))
 		c.wU32(uint32(w.hi))
 		c.wU32(uint32(opts.Workers))
-		c.wU64(uint64(blob.Len()))
-		c.wBytes(blob.Bytes())
+		c.wByte(uint8(opts.Width))
+		c.wBytes(header.Bytes())
+		for i := w.lo; i < w.hi && c.err == nil; i++ {
+			// Join frames are never compressed: they cross a local pipe once.
+			frame, err = checkpoint.AppendShardFrame(frame[:0], &es.Shards[i], i, es.N, s, false)
+			if err != nil {
+				e.Close()
+				return nil, err
+			}
+			c.wBlob(frame)
+		}
 		c.flush()
 		if c.err != nil {
 			err := fmt.Errorf("proc: joining worker [%d,%d): %w", w.lo, w.hi, c.err)
@@ -131,7 +156,14 @@ func New(snap *checkpoint.Snapshot, opts Options) (*Engine, error) {
 		}
 	}
 	for _, w := range e.procs {
-		if err := w.c.expect(mInitOK); err != nil {
+		c := w.c
+		if err := c.expect(mInitOK); err != nil {
+			e.Close()
+			return nil, fmt.Errorf("proc: joining worker [%d,%d): %w", w.lo, w.hi, err)
+		}
+		e.loadBytes += int64(c.rU64())
+		if c.err != nil {
+			err := c.err
 			e.Close()
 			return nil, fmt.Errorf("proc: joining worker [%d,%d): %w", w.lo, w.hi, err)
 		}
@@ -143,7 +175,7 @@ func New(snap *checkpoint.Snapshot, opts Options) (*Engine, error) {
 // the same pure function of (seed, len(loads), shards) as
 // shard.NewProcess, executed across opts.Procs processes.
 func NewProcess(loads []int32, seed uint64, opts Options) (*Engine, error) {
-	es, err := shard.InitialSnapshot(loads, seed, opts.Shards)
+	es, err := shard.InitialSnapshot(loads, seed, opts.Shards, opts.Width)
 	if err != nil {
 		return nil, err
 	}
@@ -255,6 +287,7 @@ func (e *Engine) step() error {
 	// Fold the stats — the round's closing barrier.
 	var max int32
 	empty := 0
+	var loadBytes int64
 	for _, w := range e.procs {
 		c := w.c
 		if err := c.expect(mStats); err != nil {
@@ -264,67 +297,109 @@ func (e *Engine) step() error {
 			max = m
 		}
 		empty += int(c.rU64())
+		loadBytes += int64(c.rU64())
 		if c.err != nil {
 			return c.err
 		}
 	}
-	e.maxLoad, e.empty = max, empty
+	e.maxLoad, e.empty, e.loadBytes = max, empty, loadBytes
 	e.released, e.staged = released, staged
 	e.round++
 	return nil
 }
 
-// Snapshot gathers the full deterministic engine state from the workers —
-// the same whole-run cut shard.Engine.Snapshot produces, so checkpoints
-// written under this transport are byte-identical to in-process ones.
-func (e *Engine) Snapshot() (*shard.EngineSnapshot, error) {
+// frameBound is the sanity cap on one relayed shard frame: the widest raw
+// payload (int32 loads) plus flate slack and framing.
+func frameBound(n, s, i int) uint64 {
+	size := uint64(shard.PartitionSize(n, s, i))
+	raw := 48 + size*4 + (size+63)/64*8
+	return raw + raw/8 + 128
+}
+
+// StreamCheckpoint serializes the run straight to dst in checkpoint format
+// v2: every worker encodes its own shards into self-checksummed frames
+// concurrently, and the coordinator relays the frame bytes in shard order
+// without decoding — or ever materializing — them. The result is what
+// checkpoint.SaveOptions would produce from Snapshot, minus the
+// coordinator-side gather and whole-blob buffer. checkpoint.Run prefers
+// this path (see checkpoint.StreamProcess).
+func (e *Engine) StreamCheckpoint(dst io.Writer, seed uint64, obs *shard.PipelineSnapshot, opts checkpoint.Options) error {
 	if e.closed {
-		return nil, errors.New("proc: Snapshot on closed engine")
+		return errors.New("proc: StreamCheckpoint on closed engine")
 	}
-	snap := &shard.EngineSnapshot{
-		N:      e.n,
-		Round:  e.round,
-		Shards: make([]shard.ShardSnapshot, e.s),
+	err := checkpoint.WriteHeader(dst, checkpoint.Header{
+		Seed:     seed,
+		N:        e.n,
+		Shards:   e.s,
+		Round:    e.round,
+		Observer: obs != nil,
+		Compress: opts.Compress,
+	})
+	if err != nil {
+		return err
 	}
+	// Request every worker up front so they all encode in parallel; drain
+	// in worker (= shard) order.
 	for _, w := range e.procs {
 		w.c.wByte(mSnapshotReq)
+		if opts.Compress {
+			w.c.wByte(1)
+		} else {
+			w.c.wByte(0)
+		}
 		w.c.flush()
 		if w.c.err != nil {
-			return nil, w.c.err
+			return w.c.err
 		}
 	}
 	for _, w := range e.procs {
 		c := w.c
 		if err := c.expect(mSnapshot); err != nil {
-			return nil, err
+			return err
 		}
 		for i := w.lo; i < w.hi; i++ {
-			id := int(c.rU32())
-			if c.err == nil && id != i {
-				return nil, fmt.Errorf("proc: snapshot shard %d out of order (want %d)", id, i)
-			}
-			var ss shard.ShardSnapshot
-			for j := range ss.RNG {
-				ss.RNG[j] = c.rU64()
-			}
-			ss.Loads = c.rI32Buf(nil)
-			nwords := int(c.rU32())
-			if c.err == nil && (nwords < 0 || nwords != (len(ss.Loads)+63)/64) {
-				return nil, fmt.Errorf("proc: snapshot shard %d has %d worklist words for %d bins", i, nwords, len(ss.Loads))
-			}
-			for j := 0; j < nwords && c.err == nil; j++ {
-				ss.Work = append(ss.Work, c.rU64())
-			}
+			flen := c.rU64()
 			if c.err != nil {
-				return nil, c.err
+				return c.err
 			}
-			if len(ss.Loads) != shard.PartitionSize(e.n, e.s, i) {
-				return nil, fmt.Errorf("proc: snapshot shard %d holds %d bins, partition wants %d", i, len(ss.Loads), shard.PartitionSize(e.n, e.s, i))
+			if flen > frameBound(e.n, e.s, i) {
+				return fmt.Errorf("proc: shard %d frame of %d bytes exceeds bound %d", i, flen, frameBound(e.n, e.s, i))
 			}
-			snap.Shards[i] = ss
+			if _, err := io.CopyN(dst, c.br, int64(flen)); err != nil {
+				return fmt.Errorf("proc: relaying shard %d frame: %w", i, err)
+			}
 		}
 	}
-	return snap, nil
+	if obs != nil {
+		frame, err := checkpoint.AppendObserverFrame(nil, obs, opts.Compress)
+		if err != nil {
+			return err
+		}
+		if _, err := dst.Write(frame); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot gathers the full deterministic engine state from the workers —
+// the same whole-run cut shard.Engine.Snapshot produces, so checkpoints
+// written under this transport are byte-identical to in-process ones. It
+// runs the streamed frame protocol into a buffer and decodes it; callers
+// that only want the serialized form should use StreamCheckpoint and skip
+// the decode (checkpoint.Run does).
+func (e *Engine) Snapshot() (*shard.EngineSnapshot, error) {
+	var buf bytes.Buffer
+	// The header seed is provenance only and not part of the engine state;
+	// zero is fine for a decode-and-discard pass.
+	if err := e.StreamCheckpoint(&buf, 0, nil, checkpoint.Options{}); err != nil {
+		return nil, err
+	}
+	snap, err := checkpoint.Load(&buf)
+	if err != nil {
+		return nil, err
+	}
+	return snap.Engine, nil
 }
 
 // Close shuts the workers down: a quit frame, then pipe close, then a
@@ -387,6 +462,11 @@ func (e *Engine) Staged() int { return e.staged }
 // Balls returns the number of balls m (rbb conserves them).
 func (e *Engine) Balls() int64 { return e.balls }
 
+// LoadBytes returns the resident bytes of the workers' load vectors and
+// staging areas, summed from their stats messages (join ack, then every
+// round). Deterministic for a given trajectory, width floor and round.
+func (e *Engine) LoadBytes() int64 { return e.loadBytes }
+
 // Load returns the load of bin u. It gathers a full snapshot per call —
 // O(n) plus a pipe round-trip — and exists for engine.Stepper conformance;
 // per-round statistics come from the folded MaxLoad/EmptyBins.
@@ -406,8 +486,10 @@ func (e *Engine) LoadsCopy() []int32 {
 	return out
 }
 
-// Compile-time checks: the coordinator is a checkpoint-able stepper.
+// Compile-time checks: the coordinator is a checkpoint-able stepper that
+// can also serialize its own checkpoint stream.
 var (
-	_ engine.Stepper     = (*Engine)(nil)
-	_ checkpoint.Process = (*Engine)(nil)
+	_ engine.Stepper           = (*Engine)(nil)
+	_ checkpoint.Process       = (*Engine)(nil)
+	_ checkpoint.StreamProcess = (*Engine)(nil)
 )

@@ -9,14 +9,16 @@
 //
 // # Worker join payload
 //
-// A worker joins by receiving the run's complete state serialized in the
-// internal/checkpoint format — the same blob `rbb-sim -checkpoint` writes —
-// and restoring its shard range from it with the full structural
-// validation of shard.NewGroupFromSnapshot. Fresh runs serialize
-// shard.InitialSnapshot; resumed runs forward the checkpoint file as-is.
-// State migration between process topologies is therefore free: any
-// checkpoint can be reopened under any -procs value (the shard count, not
-// the process count, is the random law's key).
+// A worker joins by receiving the checkpoint-format-v2 header of the run
+// plus one self-checksummed frame per shard it owns — only its own state,
+// not the whole run — and restoring its shard range with the full
+// structural validation of checkpoint.DecodeShardFrame and
+// shard.NewGroupFromSnapshot. Fresh runs frame shard.InitialSnapshot;
+// resumed runs frame the loaded checkpoint (either format version). State
+// migration between process topologies is therefore free: any checkpoint
+// can be reopened under any -procs value (the shard count, not the process
+// count, is the random law's key), and the coordinator never buffers a
+// serialized copy of the whole run.
 //
 // # Round protocol
 //
@@ -45,6 +47,8 @@ package proc
 import (
 	"fmt"
 	"os"
+
+	"repro/internal/engine"
 )
 
 // workerEnvVar marks a spawned process as a proc-transport worker.
@@ -85,4 +89,9 @@ type Options struct {
 	// Command is the argv launching one worker process (default:
 	// {os.Executable()}). The launched process must call MaybeWorker.
 	Command []string
+	// Width is the per-shard load storage width floor handed to every
+	// worker (engine.Options.Width convention: WidthAuto stores each shard
+	// at the narrowest width its loads fit, widening on demand). The
+	// trajectory is independent of it.
+	Width engine.Width
 }

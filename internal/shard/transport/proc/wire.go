@@ -9,20 +9,23 @@ import (
 )
 
 // protoVersion is the wire protocol version, checked at worker join so a
-// mixed-binary deployment fails loudly instead of desynchronizing.
-const protoVersion = 1
+// mixed-binary deployment fails loudly instead of desynchronizing. Version
+// 2 replaced the monolithic checkpoint-blob join payload and snapshot
+// gather with checkpoint format v2 frames: workers encode and decode their
+// own shards, the coordinator only relays bytes.
+const protoVersion = 2
 
 // Message types. Every frame is one type byte followed by a type-specific
 // payload; the per-message layouts are documented next to their writers.
 const (
-	mInit        byte = iota + 1 // c→w: version, lo, hi, workers, checkpoint blob
-	mInitOK                      // w→c: join acknowledged
+	mInit        byte = iota + 1 // c→w: version, lo, hi, workers, width floor, v2 header + owned shard frames
+	mInitOK                      // w→c: join acknowledged + resident load bytes
 	mStep                        // c→w: run the release phase
 	mExchange                    // w→c: released, staged, remote-destined buffers
 	mCommit                      // c→w: inbound buffers; run the commit phase
-	mStats                       // w→c: post-commit max load + empty bins
-	mSnapshotReq                 // c→w: snapshot the owned shards
-	mSnapshot                    // w→c: per-shard checkpoint sections
+	mStats                       // w→c: post-commit max load + empty bins + resident load bytes
+	mSnapshotReq                 // c→w: encode the owned shards (compress byte)
+	mSnapshot                    // w→c: length-prefixed v2 shard frames, in shard order
 	mQuit                        // c→w: exit cleanly
 	mErr                         // w→c: fatal worker error (utf-8 description)
 )
@@ -87,6 +90,31 @@ func (c *conn) wI32Buf(vs []int32) {
 		c.wBytes(chunk[:4*k])
 		vs = vs[k:]
 	}
+}
+
+// wBlob writes a u64-length-prefixed byte blob (a checkpoint frame on the
+// join and snapshot paths).
+func (c *conn) wBlob(p []byte) {
+	c.wU64(uint64(len(p)))
+	c.wBytes(p)
+}
+
+// rBlob reads a u64-length-prefixed byte blob bounded by maxLen.
+func (c *conn) rBlob(maxLen uint64) []byte {
+	n := c.rU64()
+	if c.err != nil {
+		return nil
+	}
+	if n > maxLen {
+		c.fail(fmt.Errorf("proc: %d-byte blob exceeds bound %d", n, maxLen))
+		return nil
+	}
+	buf := make([]byte, int(n))
+	if _, err := io.ReadFull(c.br, buf); err != nil {
+		c.fail(fmt.Errorf("proc: truncated blob: %w", err))
+		return nil
+	}
+	return buf
 }
 
 func (c *conn) flush() {

@@ -1,12 +1,13 @@
 package proc
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 
 	"repro/internal/checkpoint"
+	"repro/internal/engine"
 	"repro/internal/rng"
 	"repro/internal/shard"
 	"repro/internal/shard/transport/local"
@@ -35,8 +36,11 @@ func WorkerMain(r io.Reader, w io.Writer) error {
 	return nil
 }
 
-// workerJoin handles the init frame: decode the checkpoint join payload
-// and restore the owned shard range from it.
+// workerJoin handles the init frame: read the checkpoint v2 header and the
+// owned shard frames, and restore the owned shard range from them. The
+// worker builds a sparsely populated engine snapshot — only its own shards
+// are filled — which is all shard.NewGroupFromSnapshot reads for a
+// sub-range restore.
 func workerJoin(c *conn) (*shard.Group, error) {
 	if err := c.expect(mInit); err != nil {
 		return nil, err
@@ -46,33 +50,50 @@ func workerJoin(c *conn) (*shard.Group, error) {
 	}
 	lo, hi := int(c.rU32()), int(c.rU32())
 	workers := int(c.rU32())
-	blobLen := c.rU64()
+	width := engine.Width(c.rByte())
 	if c.err != nil {
 		return nil, c.err
 	}
-	if blobLen > 1<<40 {
-		return nil, fmt.Errorf("join payload of %d bytes", blobLen)
+	switch width {
+	case engine.WidthAuto, engine.Width8, engine.Width16, engine.Width32:
+	default:
+		return nil, fmt.Errorf("invalid load width %d", width)
 	}
-	blob := make([]byte, int(blobLen))
-	if _, err := io.ReadFull(c.br, blob); err != nil {
-		return nil, fmt.Errorf("truncated join payload: %w", err)
-	}
-	snap, err := checkpoint.Load(bytes.NewReader(blob))
+	h, err := checkpoint.ReadHeader(c.br)
 	if err != nil {
 		return nil, fmt.Errorf("join payload: %w", err)
 	}
-	s := len(snap.Engine.Shards)
-	if lo < 0 || hi > s || lo >= hi {
-		return nil, fmt.Errorf("shard range [%d,%d) outside %d shards", lo, hi, s)
+	if lo < 0 || hi > h.Shards || lo >= hi {
+		return nil, fmt.Errorf("shard range [%d,%d) outside %d shards", lo, hi, h.Shards)
 	}
 	if workers < 0 || workers > 1<<16 {
 		return nil, fmt.Errorf("%d local workers", workers)
 	}
-	g, err := shard.NewGroupFromSnapshot(snap.Engine, lo, hi, local.NewPool(hi-lo, workers), nil)
+	es := &shard.EngineSnapshot{
+		N:      h.N,
+		Round:  h.Round,
+		Shards: make([]shard.ShardSnapshot, h.Shards),
+	}
+	for i := lo; i < hi; i++ {
+		frame := c.rBlob(frameBound(h.N, h.Shards, i))
+		if c.err != nil {
+			return nil, c.err
+		}
+		idx, sh, err := checkpoint.DecodeShardFrame(frame, h.N, h.Shards)
+		if err != nil {
+			return nil, fmt.Errorf("join payload: %w", err)
+		}
+		if idx != i {
+			return nil, fmt.Errorf("join frame for shard %d, want %d", idx, i)
+		}
+		es.Shards[i] = sh
+	}
+	g, err := shard.NewGroupFromSnapshot(es, lo, hi, local.NewPool(hi-lo, workers), nil, width)
 	if err != nil {
 		return nil, err
 	}
 	c.wByte(mInitOK)
+	c.wU64(uint64(g.LoadBytes()))
 	c.flush()
 	return g, c.err
 }
@@ -126,25 +147,19 @@ func workerLoop(c *conn, g *shard.Group) error {
 			c.wByte(mStats)
 			c.wU32(uint32(g.MaxLoad()))
 			c.wU64(uint64(g.EmptyBins()))
+			c.wU64(uint64(g.LoadBytes()))
 			c.flush()
 		case mSnapshotReq:
-			c.wByte(mSnapshot)
-			for s := g.Lo(); s < g.Hi() && c.err == nil; s++ {
-				ss, err := g.SnapshotShard(s)
-				if err != nil {
-					return err
-				}
-				c.wU32(uint32(s))
-				for _, v := range ss.RNG {
-					c.wU64(v)
-				}
-				c.wI32Buf(ss.Loads)
-				c.wU32(uint32(len(ss.Work)))
-				for _, v := range ss.Work {
-					c.wU64(v)
-				}
+			compress := c.rByte()
+			if c.err != nil {
+				return c.err
 			}
-			c.flush()
+			if compress > 1 {
+				return fmt.Errorf("invalid snapshot compress byte %d", compress)
+			}
+			if err := workerSnapshot(c, g, compress == 1); err != nil {
+				return err
+			}
 		case mQuit:
 			return nil
 		default:
@@ -154,4 +169,52 @@ func workerLoop(c *conn, g *shard.Group) error {
 			return c.err
 		}
 	}
+}
+
+// workerSnapshot encodes the owned shards as checkpoint v2 frames —
+// concurrently, in a bounded window — and streams them to the coordinator
+// in shard order. Across P workers this is the fan-out that makes a
+// multi-process checkpoint encode scale with the process count.
+func workerSnapshot(c *conn, g *shard.Group, compress bool) error {
+	c.wByte(mSnapshot)
+	type result struct {
+		buf []byte
+		err error
+	}
+	workers := min(runtime.GOMAXPROCS(0), g.Hi()-g.Lo())
+	frames := make(chan chan result, 2*workers)
+	go func() {
+		sem := make(chan struct{}, workers)
+		for s := g.Lo(); s < g.Hi(); s++ {
+			ch := make(chan result, 1)
+			frames <- ch
+			sem <- struct{}{}
+			go func(s int, ch chan<- result) {
+				defer func() { <-sem }()
+				ss, err := g.SnapshotShard(s)
+				if err != nil {
+					ch <- result{nil, err}
+					return
+				}
+				buf, err := checkpoint.AppendShardFrame(nil, &ss, s, g.N(), g.Shards(), compress)
+				ch <- result{buf, err}
+			}(s, ch)
+		}
+		close(frames)
+	}()
+	var ferr error
+	for ch := range frames {
+		r := <-ch
+		if ferr == nil {
+			ferr = r.err
+		}
+		if ferr == nil {
+			c.wBlob(r.buf)
+		}
+	}
+	if ferr != nil {
+		return ferr
+	}
+	c.flush()
+	return c.err
 }
