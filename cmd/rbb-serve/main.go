@@ -14,7 +14,7 @@
 //	curl -s localhost:8080/v1/runs -d '{"seed":1,"n":1048576,"rounds":2000,"shards":8,"quantiles":[0.5,0.99]}'
 //	curl -s localhost:8080/v1/runs/r000001/stream
 //	curl -s localhost:8080/v1/runs/r000001/result
-//	curl -s -X POST localhost:8080/v1/runs/r000001/cancel
+//	curl -s localhost:8080/metrics
 package main
 
 import (
@@ -22,7 +22,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -51,9 +52,16 @@ func run(args []string) error {
 		maxQueue   = fs.Int("max-queue", 0, "maximum queued runs before submissions get 503 (0 = 256)")
 		maxHistory = fs.Int("max-history", 0, "terminal runs retained before the oldest are garbage-collected with their checkpoints (0 = unlimited)")
 		ttl        = fs.Duration("ttl", 0, "terminal runs are garbage-collected this long after finishing (0 = never)")
+		logFormat  = fs.String("log-format", "text", "log format: text or json")
+		pprofOn    = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		version    = fs.Bool("version", false, "print build info and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println("rbb-serve", obs.Build())
+		return nil
 	}
 	if *ckptEvery < 0 {
 		return fmt.Errorf("need checkpoint-every >= 0, got %d", *ckptEvery)
@@ -64,6 +72,16 @@ func run(args []string) error {
 	if *ttl < 0 {
 		return fmt.Errorf("need ttl >= 0, got %v", *ttl)
 	}
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		return fmt.Errorf("unknown log-format %q (want text|json)", *logFormat)
+	}
+	logger := slog.New(handler)
 
 	s, err := serve.New(serve.Options{
 		Workers:         *workers,
@@ -73,6 +91,8 @@ func run(args []string) error {
 		CheckpointEvery: *ckptEvery,
 		MaxHistory:      *maxHistory,
 		TTL:             *ttl,
+		Logger:          logger,
+		Pprof:           *pprofOn,
 	})
 	if err != nil {
 		return err
@@ -91,7 +111,8 @@ func run(args []string) error {
 	hs := &http.Server{Handler: s.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
-	log.Printf("rbb-serve: listening on %s (workers=%d data=%q)", ln.Addr(), *workers, *dataDir)
+	logger.Info("listening", "addr", ln.Addr().String(), "workers", *workers,
+		"data", *dataDir, "revision", obs.Build().Revision)
 
 	select {
 	case err := <-serveErr:
@@ -102,7 +123,7 @@ func run(args []string) error {
 	// Restore default signal disposition immediately so a second SIGTERM/
 	// Ctrl-C during a slow shutdown kills the process the OS way.
 	stop()
-	log.Printf("rbb-serve: signal received; snapshotting in-flight runs")
+	logger.Info("signal received; snapshotting in-flight runs")
 	// Drain the scheduler first: each in-flight run snapshots and stops at
 	// its next round boundary, which also ends its stream connections —
 	// only then can the HTTP server shut down without waiting them out.
@@ -112,8 +133,8 @@ func run(args []string) error {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("rbb-serve: http shutdown: %v", err)
+		logger.Error("http shutdown", "err", err)
 	}
-	log.Printf("rbb-serve: stopped")
+	logger.Info("stopped")
 	return nil
 }

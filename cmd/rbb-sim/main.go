@@ -65,6 +65,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/jackson"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/shard"
 	"repro/internal/shard/transport/proc"
@@ -122,9 +123,16 @@ func run(args []string, out io.Writer) error {
 		resume    = fs.String("resume", "", "resume from a checkpoint file; n, m, seed, shards, quantiles and load widths come from the file")
 		timings   = fs.Bool("timings", false, "add wall-clock fields (ckpt_encode_seconds) to the -json summary; timing is machine noise, so byte-compared summaries must leave it off")
 		jsonOut   = fs.Bool("json", false, "print only the final observer summary as one JSON line (rounds, window max, empty-bin fractions, quantiles, memory) — the format served by rbb-serve")
+		tracePath = fs.String("trace", "", "write phase spans as Chrome trace format JSON to this file (load it in chrome://tracing or Perfetto); telemetry only, never affects results")
+		metrics   = fs.String("metrics", "", "dump the end-of-run metrics in Prometheus text format to this file (\"-\" = stderr); telemetry only, never affects results")
+		version   = fs.Bool("version", false, "print build info and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(out, "rbb-sim", obs.Build())
+		return nil
 	}
 	if *rounds < 0 {
 		return fmt.Errorf("need rounds >= 0, got %d", *rounds)
@@ -154,6 +162,14 @@ func run(args []string, out io.Writer) error {
 		// silently accepting the flag would mislabel an ablation.
 		return errors.New("-transport selects the in-process transport; drop it with -procs > 1 (workers always use the pool)")
 	}
+	// Telemetry sinks are side channels (file or stderr, never stdout), so
+	// -trace and -metrics cannot perturb byte-compared summaries. Started
+	// before the mode split below so every mode (fresh, resumed) is covered.
+	stopTelemetry, err := startTelemetry(*tracePath, *metrics)
+	if err != nil {
+		return err
+	}
+	defer stopTelemetry()
 	if *resume != "" {
 		// The checkpoint is self-describing; flags that would contradict it
 		// are rejected rather than silently ignored. Placement flags
@@ -331,6 +347,62 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// startTelemetry wires the -trace and -metrics side channels: it installs a
+// process-wide tracer writing Chrome trace JSON to tracePath (when set) and
+// returns a teardown that finalizes the trace file and dumps the metrics
+// registry in Prometheus text format to metricsPath ("-" = stderr).
+// Teardown errors are reported on stderr — telemetry must never change the
+// exit status or stdout of a run.
+func startTelemetry(tracePath, metricsPath string) (func(), error) {
+	var (
+		tr *obs.Tracer
+		tf *os.File
+	)
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		tf = f
+		tr = obs.NewTracer(f)
+		tr.Meta(obs.LanePhases, "phases")
+		tr.Meta(obs.LaneCkpt, "checkpoint")
+		obs.SetTracer(tr)
+	}
+	return func() {
+		if tr != nil {
+			obs.SetTracer(nil)
+			if err := tr.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "rbb-sim: trace:", err)
+			}
+			if err := tf.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "rbb-sim: trace:", err)
+			}
+		}
+		if metricsPath != "" {
+			w := io.Writer(os.Stderr)
+			var mf *os.File
+			if metricsPath != "-" {
+				f, err := os.Create(metricsPath)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "rbb-sim: metrics:", err)
+					return
+				}
+				mf = f
+				w = f
+			}
+			if err := obs.Default.WritePrometheus(w); err != nil {
+				fmt.Fprintln(os.Stderr, "rbb-sim: metrics:", err)
+			}
+			if mf != nil {
+				if err := mf.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "rbb-sim: metrics:", err)
+				}
+			}
+		}
+	}, nil
+}
+
 // printSummary emits the run summary as one JSON line — the same encoding
 // rbb-serve returns from its result endpoint, so the CI serve-smoke job
 // can diff the two directly.
@@ -401,8 +473,10 @@ func runResumed(out io.Writer, path string, target, every int64, ckptPath string
 // boundary — the same shared path rbb-serve uses for its shutdown.
 func runCheckpointed(out io.Writer, p checkpoint.Process, pipe *shard.Pipeline, pol checkpoint.Policy, target, every int64, timings, jsonOut bool) error {
 	ctx := context.Background()
+	// Cumulative across every write of the run (periodic, triggered, final),
+	// matching the Summary field's contract — not just the last write.
 	var encSeconds float64
-	pol.OnWrite = func(s float64) { encSeconds = s }
+	pol.OnWrite = func(s float64) { encSeconds += s }
 	if pol.Path != "" {
 		var stop context.CancelFunc
 		ctx, stop = signal.NotifyContext(ctx, syscall.SIGTERM, os.Interrupt)

@@ -301,3 +301,90 @@ func TestRunCheckpointFlagErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestObservabilityNeutral is the telemetry determinism pin: a run with
+// -trace and -metrics enabled produces the byte-identical -json summary and
+// final checkpoint of a run without them, the trace file parses as Chrome
+// trace JSON with the expected phase spans, and the metrics dump carries
+// the phase families.
+func TestObservabilityNeutral(t *testing.T) {
+	dir := t.TempDir()
+	ckPlain := filepath.Join(dir, "plain.ckpt")
+	ckObs := filepath.Join(dir, "obs.ckpt")
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.prom")
+	base := []string{"-n", "512", "-rounds", "120", "-shards", "4", "-seed", "11",
+		"-quantiles", "0.5,0.99", "-json", "-checkpoint-every", "40"}
+
+	var plain, instrumented strings.Builder
+	if err := run(append(append([]string(nil), base...), "-checkpoint", ckPlain), &plain); err != nil {
+		t.Fatal(err)
+	}
+	err := run(append(append([]string(nil), base...),
+		"-checkpoint", ckObs, "-trace", tracePath, "-metrics", metricsPath), &instrumented)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != instrumented.String() {
+		t.Errorf("-trace/-metrics changed the summary:\n%s\n%s", plain.String(), instrumented.String())
+	}
+	a, err := os.ReadFile(ckPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(ckObs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("-trace/-metrics changed the final checkpoint bytes")
+	}
+
+	blob, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatalf("trace file is not valid Chrome trace JSON: %v", err)
+	}
+	names := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		names[ev.Name]++
+	}
+	if names["release"] < 120 || names["commit"] < 120 {
+		t.Errorf("trace spans: release=%d commit=%d, want >= 120 each", names["release"], names["commit"])
+	}
+	if names["ckpt"] < 1 {
+		t.Errorf("trace has no checkpoint spans: %v", names)
+	}
+
+	prom, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{"rbb_phase_seconds", "rbb_rounds_total", "rbb_ckpt_writes_total"} {
+		if !strings.Contains(string(prom), family) {
+			t.Errorf("metrics dump missing family %s", family)
+		}
+	}
+}
+
+// TestVersionFlag: -version prints build info and runs nothing.
+func TestVersionFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-version"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "rbb-sim ") || !strings.Contains(out, "go1.") {
+		t.Errorf("version output %q", out)
+	}
+}

@@ -102,6 +102,7 @@ func Run(ctx context.Context, p Process, target int64, pol Policy, obs ...engine
 		if pol.Path == "" {
 			return nil
 		}
+		span := startCkptSpan()
 		start := time.Now()
 		var obs *shard.PipelineSnapshot
 		if pol.Pipeline != nil {
@@ -125,8 +126,11 @@ func Run(ctx context.Context, p Process, target int64, pol Policy, obs ...engine
 				return err
 			}
 		}
+		seconds := time.Since(start).Seconds()
+		noteCkptWrite(seconds)
+		span.End()
 		if pol.OnWrite != nil {
-			pol.OnWrite(time.Since(start).Seconds())
+			pol.OnWrite(seconds)
 		}
 		written = p.Round()
 		return nil

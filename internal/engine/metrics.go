@@ -1,0 +1,31 @@
+package engine
+
+import "repro/internal/obs"
+
+// Widening telemetry: a counter per target width plus a trace instant, so
+// the rare storage-width ratchets are visible in both the metrics export
+// and the phase trace. Observational only — widening decisions are driven
+// by load values, never by these counters.
+var (
+	mWiden16 = obs.Default.Counter("rbb_widen_total",
+		"Shard storage-width ratchets, by target width.",
+		obs.Label{Key: "to", Value: "16"})
+	mWiden32 = obs.Default.Counter("rbb_widen_total",
+		"Shard storage-width ratchets, by target width.",
+		obs.Label{Key: "to", Value: "32"})
+)
+
+// noteWiden records one ratchet to width w.
+func noteWiden(w Width) {
+	if !obs.Enabled() {
+		return
+	}
+	switch w {
+	case Width16:
+		mWiden16.Inc()
+		obs.Instant("widen", obs.LanePhases, map[string]any{"to": "16"})
+	case Width32:
+		mWiden32.Inc()
+		obs.Instant("widen", obs.LanePhases, map[string]any{"to": "32"})
+	}
+}

@@ -324,6 +324,7 @@ func (s *State) widen() {
 	default:
 		panic("engine: widen past int32 (ball count exceeds int32 range)")
 	}
+	noteWiden(s.width)
 }
 
 // widenSlice converts src into a freshly allocated wider representation.

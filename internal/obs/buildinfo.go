@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo is the build provenance of the running binary, read from the
+// Go toolchain's embedded build info. The rbb-sim/rbb-serve -version flags
+// print it and the service exposes it at /version (plus the revision in
+// healthz), so a fleet's binaries are identifiable without shipping a
+// version constant through releases.
+type BuildInfo struct {
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS commit hash, "unknown" outside a VCS build
+	// (e.g. test binaries and plain `go run`).
+	Revision string `json:"revision"`
+	// CommitTime is the commit's RFC 3339 timestamp, when recorded.
+	CommitTime string `json:"commit_time,omitempty"`
+	// Modified reports a dirty working tree at build time.
+	Modified bool `json:"modified,omitempty"`
+	// Module is the main module path.
+	Module string `json:"module,omitempty"`
+}
+
+// Build returns the binary's build info (computed once).
+var Build = sync.OnceValue(func() BuildInfo {
+	out := BuildInfo{GoVersion: runtime.Version(), Revision: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	out.Module = bi.Main.Path
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out.Revision = s.Value
+		case "vcs.time":
+			out.CommitTime = s.Value
+		case "vcs.modified":
+			out.Modified = s.Value == "true"
+		}
+	}
+	return out
+})
+
+// String renders "revision goversion" with a dirty marker — the -version
+// flag's one-liner.
+func (b BuildInfo) String() string {
+	s := b.Revision
+	if b.Modified {
+		s += "-dirty"
+	}
+	return s + " " + b.GoVersion
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrency hammers registration (get-or-create of the same
+// families) and the atomic hot paths from many goroutines; run under -race
+// in CI. Totals must come out exact.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const (
+		workers = 8
+		iters   = 10000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("test_total", "help").Inc()
+				r.Counter("test_labeled_total", "help", Label{"shard", "0"}).Add(2)
+				r.Gauge("test_gauge", "help").Set(int64(w))
+				r.Histogram("test_seconds", "help", []float64{0.5, 1.5}).Observe(1.0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("test_total", "help").Value(); got != workers*iters {
+		t.Errorf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := r.Counter("test_labeled_total", "help", Label{"shard", "0"}).Value(); got != 2*workers*iters {
+		t.Errorf("labeled counter = %d, want %d", got, 2*workers*iters)
+	}
+	h := r.Histogram("test_seconds", "help", []float64{0.5, 1.5})
+	if h.Count() != workers*iters {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*iters)
+	}
+	if h.Sum() != float64(workers*iters) {
+		t.Errorf("histogram sum = %v, want %v", h.Sum(), float64(workers*iters))
+	}
+	if g := r.Gauge("test_gauge", "help").Value(); g < 0 || g >= workers {
+		t.Errorf("gauge = %d, want one of the worker ids", g)
+	}
+}
+
+// TestWritePrometheusGolden pins the exposition format byte for byte:
+// stable family and series order, HELP/TYPE lines, cumulative histogram
+// buckets with the implicit +Inf, and label escaping.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_last_total", "registered first, sorted last").Add(7)
+	r.Counter("aa_requests_total", "requests", Label{"method", "GET"}, Label{"code", "200"}).Add(3)
+	r.Counter("aa_requests_total", "requests", Label{"code", "500"}, Label{"method", "GET"}).Inc()
+	r.Gauge("queue_depth", "queued runs").Set(-2)
+	h := r.Histogram("phase_seconds", "phase durations", []float64{0.1, 1}, Label{"phase", "release"})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(50)
+	r.Counter("esc_total", "escaping", Label{"v", "a\"b\\c\nd"}).Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_requests_total requests
+# TYPE aa_requests_total counter
+aa_requests_total{code="200",method="GET"} 3
+aa_requests_total{code="500",method="GET"} 1
+# HELP esc_total escaping
+# TYPE esc_total counter
+esc_total{v="a\"b\\c\nd"} 1
+# HELP phase_seconds phase durations
+# TYPE phase_seconds histogram
+phase_seconds_bucket{phase="release",le="0.1"} 2
+phase_seconds_bucket{phase="release",le="1"} 3
+phase_seconds_bucket{phase="release",le="+Inf"} 4
+phase_seconds_sum{phase="release"} 50.6
+phase_seconds_count{phase="release"} 4
+# HELP queue_depth queued runs
+# TYPE queue_depth gauge
+queue_depth -2
+# HELP zz_last_total registered first, sorted last
+# TYPE zz_last_total counter
+zz_last_total 7
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestRegistryKindMismatch: re-registering a family as a different type is
+// a programmer error and panics.
+func TestRegistryKindMismatch(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on kind mismatch")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+// TestInvalidName: a malformed metric name panics at registration.
+func TestInvalidName(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on invalid name")
+		}
+	}()
+	NewRegistry().Counter("0bad name", "")
+}
+
+// TestTimerDisabled: StartTimer under SetEnabled(false) is inert — it
+// observes nothing and returns 0.
+func TestTimerDisabled(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t_seconds", "", []float64{1})
+	SetEnabled(false)
+	defer SetEnabled(true)
+	tm := StartTimer()
+	if s := tm.ObserveSeconds(h); s != 0 {
+		t.Errorf("inert timer observed %v", s)
+	}
+	if h.Count() != 0 {
+		t.Errorf("inert timer recorded %d observations", h.Count())
+	}
+	SetEnabled(true)
+	tm = StartTimer()
+	if tm.ObserveSeconds(h); h.Count() != 1 {
+		t.Errorf("live timer recorded %d observations, want 1", h.Count())
+	}
+}

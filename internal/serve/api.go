@@ -249,6 +249,29 @@ type RunInfo struct {
 	// Cached marks a run answered from the result cache: it was born
 	// done, carrying the Summary of an earlier identical submission.
 	Cached bool `json:"cached,omitempty"`
+	// Progress is the live stepping rate of a running run, refreshed on
+	// every stream event and absent outside the running state. Wall-clock
+	// derived and therefore non-deterministic — clients must treat it as
+	// display-only.
+	Progress *Progress `json:"progress,omitempty"`
+}
+
+// Progress is a running run's live throughput estimate.
+type Progress struct {
+	// Round is the completed round count as of the last stream event.
+	Round int64 `json:"round"`
+	// RoundsPerSec is the mean stepping rate since the run (re)entered a
+	// worker slot.
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+	// ETASeconds estimates the remaining wall-clock at the current rate
+	// (0 once the target round is reached).
+	ETASeconds float64 `json:"eta_seconds"`
+	// MaxLoad and EmptyFrac mirror the last stream event — the
+	// summary-so-far without a second subscription.
+	MaxLoad   int32   `json:"max_load"`
+	EmptyFrac float64 `json:"empty_frac"`
+	// WindowMax is the windowed max-load statistic as of the last event.
+	WindowMax int32 `json:"window_max"`
 }
 
 // Event is one streaming observer sample, emitted every StreamEvery rounds

@@ -5,7 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // maxBodyBytes bounds a submission body; a Spec is a few hundred bytes.
@@ -23,7 +26,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	mux.HandleFunc("POST /v1/runs/{id}/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
-	return mux
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /version", handleVersion)
+	if s.opts.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s.instrument(mux)
 }
 
 // writeJSON emits v with the given status code.
@@ -134,7 +146,24 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		"queued":   queued,
 		"running":  running,
 		"terminal": terminal,
+		"revision": obs.Build().Revision,
 	})
+}
+
+// handleMetrics serves the process registry in the Prometheus text format,
+// refreshing the scrape-time run-state gauges first.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	queued, running, terminal := s.Counters()
+	mRunsQueued.Set(int64(queued))
+	mRunsRunning.Set(int64(running))
+	mRunsTerminal.Set(int64(terminal))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.Default.WritePrometheus(w)
+}
+
+// handleVersion serves the binary's build provenance.
+func handleVersion(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, obs.Build())
 }
 
 // handleStream tails a run's observer events: one JSON object per line

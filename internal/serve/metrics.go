@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// HTTP-layer telemetry. Request counters are labeled by the matched route
+// pattern — never the raw URL — so label cardinality is bounded by the mux.
+var (
+	mHTTPSeconds = obs.Default.Histogram("rbb_http_request_seconds",
+		"Wall-clock duration of one HTTP request.", nil)
+	mRunsQueued = obs.Default.Gauge("rbb_serve_runs",
+		"Runs by scheduler state, refreshed at scrape time.",
+		obs.Label{Key: "state", Value: "queued"})
+	mRunsRunning = obs.Default.Gauge("rbb_serve_runs",
+		"Runs by scheduler state, refreshed at scrape time.",
+		obs.Label{Key: "state", Value: "running"})
+	mRunsTerminal = obs.Default.Gauge("rbb_serve_runs",
+		"Runs by scheduler state, refreshed at scrape time.",
+		obs.Label{Key: "state", Value: "terminal"})
+)
+
+// countRequest bumps the per-route request counter. The get-or-create
+// lookup takes the registry mutex — fine at HTTP rates, nowhere near the
+// simulation hot path.
+func countRequest(method, pattern string, code int) {
+	obs.Default.Counter("rbb_http_requests_total",
+		"HTTP requests by method, matched route pattern and status code.",
+		obs.Label{Key: "method", Value: method},
+		obs.Label{Key: "path", Value: pattern},
+		obs.Label{Key: "code", Value: strconv.Itoa(code)},
+	).Inc()
+}
+
+// statusRecorder captures the response status for the access log and the
+// request counter, forwarding Flush so streaming handlers keep working
+// through the wrapper.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps the mux with request metrics and the structured access
+// log: method, raw path, matched pattern, status and duration per request.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sr, req)
+		elapsed := time.Since(start)
+		pattern := req.Pattern
+		if pattern == "" {
+			pattern = "unmatched"
+		}
+		if obs.Enabled() {
+			countRequest(req.Method, pattern, sr.code)
+			mHTTPSeconds.Observe(elapsed.Seconds())
+		}
+		s.logger.Info("http request",
+			"method", req.Method,
+			"path", req.URL.Path,
+			"pattern", pattern,
+			"status", sr.code,
+			"duration_ms", float64(elapsed)/float64(time.Millisecond),
+		)
+	})
+}

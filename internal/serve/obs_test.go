@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitDone polls until the run with the given id is terminal.
+func waitDone(t *testing.T, s *Server, id string) RunInfo {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		info, ok := s.Info(id)
+		if !ok {
+			t.Fatalf("run %s vanished", id)
+		}
+		if info.Status.Terminal() {
+			return info
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("run %s did not finish", id)
+	return RunInfo{}
+}
+
+// TestMetricsEndpoint: after a run completes, /metrics serves Prometheus
+// text covering the phase, round, serve-state and HTTP families.
+func TestMetricsEndpoint(t *testing.T) {
+	s, hs := newTestServer(t, Options{Workers: 1})
+	info, err := s.Submit(Spec{Seed: 7, N: 64, Rounds: 32, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s, info.ID)
+	// The request counter registers per (method, pattern, code) series as
+	// requests complete; make one before scraping.
+	if _, err := http.Get(hs.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, family := range []string{
+		"rbb_phase_seconds",
+		"rbb_rounds_total",
+		"rbb_serve_runs",
+		"rbb_http_requests_total",
+		"rbb_http_request_seconds",
+	} {
+		if !strings.Contains(text, family) {
+			t.Errorf("metrics exposition missing family %s", family)
+		}
+	}
+	if !strings.Contains(text, `rbb_serve_runs{state="terminal"} 1`) {
+		t.Errorf("terminal gauge not refreshed at scrape:\n%s", text)
+	}
+}
+
+// TestVersionEndpoint: /version serves the build info JSON and healthz
+// carries the revision.
+func TestVersionEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, Options{})
+	resp, err := http.Get(hs.URL + "/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v struct {
+		GoVersion string `json:"go_version"`
+		Revision  string `json:"revision"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.GoVersion == "" || v.Revision == "" {
+		t.Errorf("incomplete build info: %+v", v)
+	}
+	hr, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var h map[string]any
+	if err := json.NewDecoder(hr.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h["revision"] != v.Revision {
+		t.Errorf("healthz revision %v, /version revision %v", h["revision"], v.Revision)
+	}
+}
+
+// TestAccessLog: requests land in the structured log with method, pattern
+// and status, and run lifecycle transitions are logged too.
+func TestAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	s, hs := newTestServer(t, Options{Workers: 1, Logger: logger})
+	info, err := s.Submit(Spec{Seed: 1, N: 32, Rounds: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, s, info.ID)
+	if _, err := http.Get(hs.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	}
+	log := buf.String()
+	for _, want := range []string{
+		`"msg":"http request"`,
+		`"pattern":"GET /healthz"`,
+		`"status":200`,
+		`"msg":"run queued"`,
+		`"msg":"run started"`,
+		`"msg":"run left worker"`,
+	} {
+		if !strings.Contains(log, want) {
+			t.Errorf("log missing %s:\n%s", want, log)
+		}
+	}
+}
+
+// TestProgress: a running run's info carries a Progress estimate and the
+// terminal info does not.
+func TestProgress(t *testing.T) {
+	r := newRun("r1", Spec{Seed: 1, N: 8, Rounds: 100})
+	if !r.setRunning(func() {}) {
+		t.Fatal("setRunning refused")
+	}
+	time.Sleep(2 * time.Millisecond)
+	r.publish(Event{Round: 50, MaxLoad: 3, EmptyFrac: 0.25, WindowMax: 4})
+	info := r.Info()
+	p := info.Progress
+	if p == nil {
+		t.Fatal("no progress on running run")
+	}
+	if p.Round != 50 || p.MaxLoad != 3 || p.EmptyFrac != 0.25 || p.WindowMax != 4 {
+		t.Errorf("progress = %+v", p)
+	}
+	if p.RoundsPerSec <= 0 {
+		t.Errorf("rounds/sec = %v, want > 0", p.RoundsPerSec)
+	}
+	if p.ETASeconds <= 0 {
+		t.Errorf("eta = %v, want > 0 at round 50 of 100", p.ETASeconds)
+	}
+	// The estimate must be consistent: eta ≈ remaining / rate.
+	if got, want := p.ETASeconds, 50/p.RoundsPerSec; got < want*0.99 || got > want*1.01 {
+		t.Errorf("eta %v inconsistent with rate (want ~%v)", got, want)
+	}
+	r.finish(func(info *RunInfo) { info.Status = StatusDone })
+	if r.Info().Progress != nil {
+		t.Error("terminal run still carries progress")
+	}
+	// The terminal JSON must not contain the field at all (stream terminal
+	// lines and manifests stay stable).
+	blob, err := json.Marshal(r.Info())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(blob), "progress") {
+		t.Errorf("terminal run info encodes progress: %s", blob)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"sync"
+	"time"
 )
 
 // run is one tracked simulation: the public RunInfo, the cancellation
@@ -14,6 +15,12 @@ type run struct {
 	info      RunInfo
 	cancel    context.CancelFunc // set while running
 	cancelled bool               // client requested cancellation
+
+	// started/startRound anchor the live Progress estimate: the wall-clock
+	// instant and completed round at which the run last entered a worker
+	// slot (zero while not running).
+	started    time.Time
+	startRound int64
 
 	// trigger carries on-demand checkpoint requests into checkpoint.Run
 	// (capacity 1: requests arriving while one is pending coalesce).
@@ -52,6 +59,8 @@ func (r *run) setRunning(cancel context.CancelFunc) bool {
 	}
 	r.info.Status = StatusRunning
 	r.cancel = cancel
+	r.started = time.Now()
+	r.startRound = r.info.Round
 	return true
 }
 
@@ -85,6 +94,10 @@ func (r *run) finish(mutate func(*RunInfo)) {
 	r.mu.Lock()
 	mutate(&r.info)
 	r.cancel = nil
+	// Progress is a running-state artifact; terminal and re-queued states
+	// (and the persisted manifest) must not carry a stale estimate.
+	r.info.Progress = nil
+	r.started = time.Time{}
 	subs := r.subs
 	r.subs = make(map[chan []byte]struct{})
 	r.mu.Unlock()
@@ -128,6 +141,23 @@ func (r *run) publish(ev Event) {
 	}
 	r.mu.Lock()
 	r.info.Round = ev.Round
+	if !r.started.IsZero() {
+		p := &Progress{
+			Round:     ev.Round,
+			MaxLoad:   ev.MaxLoad,
+			EmptyFrac: ev.EmptyFrac,
+			WindowMax: ev.WindowMax,
+		}
+		if done := ev.Round - r.startRound; done > 0 {
+			if elapsed := time.Since(r.started).Seconds(); elapsed > 0 {
+				p.RoundsPerSec = float64(done) / elapsed
+				if rem := r.info.Spec.Rounds - ev.Round; rem > 0 {
+					p.ETASeconds = float64(rem) / p.RoundsPerSec
+				}
+			}
+		}
+		r.info.Progress = p
+	}
 	for ch := range r.subs {
 		select {
 		case ch <- blob:

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"strconv"
@@ -49,15 +50,23 @@ type Options struct {
 	// are also collected opportunistically on submissions and
 	// completions).
 	TTL time.Duration
+	// Logger receives the structured request and run-lifecycle log (nil
+	// discards it — tests stay quiet by default).
+	Logger *slog.Logger
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the handler. Off
+	// by default: the profiling surface is opt-in, not part of the public
+	// API.
+	Pprof bool
 }
 
 // Server is the run service: a registry of runs, a bounded scheduler
 // multiplexing them over Workers slots, and the HTTP layer (Handler).
 // Create with New, stop with Shutdown.
 type Server struct {
-	opts  Options
-	store *store // nil in memory-only mode
-	now   func() time.Time
+	opts   Options
+	store  *store // nil in memory-only mode
+	now    func() time.Time
+	logger *slog.Logger
 
 	mu     sync.Mutex
 	runs   map[string]*run
@@ -116,12 +125,17 @@ func New(opts Options) (*Server, error) {
 	if opts.MaxQueue <= 0 {
 		opts.MaxQueue = 256
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	s := &Server{
-		opts:  opts,
-		now:   time.Now,
-		runs:  make(map[string]*run),
-		cache: make(map[string]cacheEntry),
-		wake:  make(chan struct{}, opts.Workers),
+		opts:   opts,
+		now:    time.Now,
+		logger: logger,
+		runs:   make(map[string]*run),
+		cache:  make(map[string]cacheEntry),
+		wake:   make(chan struct{}, opts.Workers),
 	}
 	s.stopCtx, s.stop = context.WithCancel(context.Background())
 	if opts.Dir != "" {
@@ -187,6 +201,9 @@ func (s *Server) restore() error {
 		}
 		r := newRun(info.ID, info.Spec)
 		r.info = info
+		// A manifest persisted mid-run may carry a Progress estimate; it is
+		// meaningless in any restored state.
+		r.info.Progress = nil
 		if !info.Status.Terminal() {
 			r.info.Status = StatusQueued
 			resumable := false
@@ -206,6 +223,7 @@ func (s *Server) restore() error {
 			s.cache[specKey(info.Spec)] = cacheEntry{runID: info.ID, round: info.Round, summary: info.Summary}
 		}
 	}
+	s.logger.Info("state restored", "runs", len(m.Runs), "requeued", len(s.queue))
 	return nil
 }
 
@@ -231,6 +249,7 @@ func (s *Server) Submit(spec Spec) (RunInfo, error) {
 		s.runs[id] = r
 		s.order = append(s.order, id)
 		s.mu.Unlock()
+		s.logger.Info("run served from cache", "id", id, "source", ent.runID)
 		s.persist()
 		s.gc()
 		return r.Info(), nil
@@ -246,6 +265,8 @@ func (s *Server) Submit(spec Spec) (RunInfo, error) {
 	s.order = append(s.order, id)
 	s.queue = append(s.queue, id)
 	s.mu.Unlock()
+	s.logger.Info("run queued", "id", id, "process", spec.Process,
+		"n", spec.N, "rounds", spec.Rounds, "shards", spec.Shards)
 	s.persist()
 	select {
 	case s.wake <- struct{}{}:
@@ -423,9 +444,11 @@ func (s *Server) Counters() (queued, running, terminal int) {
 // manifest is persisted. The server must not be used afterwards; a new
 // Server over the same directory picks the interrupted runs back up.
 func (s *Server) Shutdown() {
+	s.logger.Info("shutting down")
 	s.stop()
 	s.wg.Wait()
 	s.persist()
+	s.logger.Info("stopped")
 }
 
 // persist writes the manifest (memory-only mode: no-op). persistMu is
@@ -502,6 +525,8 @@ func (s *Server) execute(r *run) {
 	s.persist()
 	info := r.Info()
 	spec, id := info.Spec, info.ID
+	s.logger.Info("run started", "id", id, "process", spec.Process, "from_round", info.Round)
+	start := s.now()
 
 	var (
 		round       int64
@@ -561,6 +586,8 @@ func (s *Server) execute(r *run) {
 		}
 		s.mu.Unlock()
 	}
+	s.logger.Info("run left worker", "id", id, "status", string(r.Info().Status),
+		"round", round, "elapsed_ms", float64(s.now().Sub(start))/float64(time.Millisecond))
 	s.persist()
 	s.gc()
 }

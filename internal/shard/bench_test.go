@@ -7,8 +7,18 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
+
+// obsSetEnabledForBench flips the global telemetry switch for one benchmark
+// and restores the default (enabled) afterwards, so the Obs pair never
+// leaks state into the other benchmarks or tests in the package.
+func obsSetEnabledForBench(b *testing.B, on bool) {
+	b.Helper()
+	obs.SetEnabled(on)
+	b.Cleanup(func() { obs.SetEnabled(true) })
+}
 
 // The recorded comparison (BENCH_shard.json, CI bench-smoke): the sharded
 // engine against the sequential internal/engine path at n = 2²², on the
@@ -119,6 +129,21 @@ func BenchmarkShardDenseWidth8(b *testing.B) {
 
 func BenchmarkShardDenseWidth32(b *testing.B) {
 	benchWidth(b, engine.Width32)
+}
+
+// The instrumentation-overhead pair (BENCH_obs.json): the recorded dense
+// balanced round with the obs metrics/span hot paths enabled (the default)
+// versus globally disabled. The design target is <2% — a handful of atomic
+// adds per phase, one add per shard per round for the exchange tallies,
+// never per-ball work.
+func BenchmarkShardBalancedObsOff(b *testing.B) {
+	obsSetEnabledForBench(b, false)
+	benchSharded(b, config.OnePerBin(benchN), runtime.GOMAXPROCS(0))
+}
+
+func BenchmarkShardBalancedObsOn(b *testing.B) {
+	obsSetEnabledForBench(b, true)
+	benchSharded(b, config.OnePerBin(benchN), runtime.GOMAXPROCS(0))
 }
 
 func BenchmarkShardPoolSmallS64(b *testing.B) {

@@ -6,6 +6,7 @@ import (
 	"math/bits"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/shard/transport"
 )
@@ -248,6 +249,8 @@ func (g *Group) owns(s int) bool { return s >= g.lo && s < g.hi }
 // stream, and stage them in the per-destination outgoing buffers. Returns
 // after the phase barrier.
 func (g *Group) Release(arrivals Arrivals) {
+	sp := obs.StartSpan("release", obs.LanePhases)
+	tm := obs.StartTimer()
 	n := g.n
 	g.runner.Run(func(i int) {
 		sh := &g.parts[i]
@@ -270,6 +273,8 @@ func (g *Group) Release(arrivals Arrivals) {
 		g.released[i] = released
 		g.staged[i] = k
 	})
+	tm.ObserveSeconds(mPhaseRelease)
+	sp.End()
 }
 
 // Outgoing returns the staged buffer from owned shard src to global shard
@@ -295,22 +300,36 @@ func (g *Group) Deliver(src, dst int, buf []int32) {
 // remote-destined outgoing buffers (already shipped by the transport) are
 // reset for the next round.
 func (g *Group) Commit() {
+	sp := obs.StartSpan("commit", obs.LanePhases)
+	tm := obs.StartTimer()
+	count := obs.Enabled()
 	g.runner.Run(func(i int) {
 		sh := &g.parts[i]
 		d := g.lo + i
 		base := int32(sh.base)
+		balls, msgs := 0, 0
 		for s := 0; s < g.s; s++ {
+			var buf []int32
 			if g.owns(s) {
-				buf := g.parts[s-g.lo].out[d]
+				buf = g.parts[s-g.lo].out[d]
 				sh.state.DepositBatch(buf, base)
 				g.parts[s-g.lo].out[d] = buf[:0]
 			} else {
-				buf := g.inbox[i][s]
+				buf = g.inbox[i][s]
 				sh.state.DepositBatch(buf, base)
 				g.inbox[i][s] = buf[:0]
 			}
+			if count && len(buf) > 0 && s != d {
+				balls += len(buf)
+				msgs++
+			}
 		}
 		sh.state.Commit()
+		if count {
+			// One atomic add per shard per round, never per ball.
+			mExchangeBalls.Add(uint64(balls))
+			mExchangeMsgs.Add(uint64(msgs))
+		}
 	})
 	if g.lo > 0 || g.hi < g.s {
 		for i := range g.parts {
@@ -322,6 +341,8 @@ func (g *Group) Commit() {
 			}
 		}
 	}
+	tm.ObserveSeconds(mPhaseCommit)
+	sp.End()
 }
 
 // N returns the global number of bins.

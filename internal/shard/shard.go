@@ -240,6 +240,7 @@ func (e *Engine) Step(arrivals Arrivals) {
 	e.staged = e.g.Staged()
 	e.refreshStats()
 	e.round++
+	mRounds.Inc()
 }
 
 // ShardSnapshot is the checkpointed state of one shard: its private rng

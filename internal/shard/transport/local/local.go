@@ -17,9 +17,35 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/shard/transport"
 )
+
+// mBarrierWait records, per worker per phase, how long that worker's slice
+// of the phase barrier idled for stragglers: phase wall time minus the
+// worker's own busy time. Observational only — see the obs package doc.
+var (
+	mBarrierPool = obs.Default.Histogram("rbb_barrier_wait_seconds",
+		"Per-worker idle time at the phase barrier (phase duration minus worker busy time).",
+		nil, obs.Label{Key: "transport", Value: "pool"})
+	mBarrierSpawn = obs.Default.Histogram("rbb_barrier_wait_seconds",
+		"Per-worker idle time at the phase barrier (phase duration minus worker busy time).",
+		nil, obs.Label{Key: "transport", Value: "spawn"})
+)
+
+// observeBarrier turns a phase's total wall time and per-worker busy times
+// into barrier-wait observations.
+func observeBarrier(h *obs.Histogram, total time.Duration, busy []time.Duration) {
+	for _, b := range busy {
+		wait := total - b
+		if wait < 0 {
+			wait = 0
+		}
+		h.Observe(wait.Seconds())
+	}
+}
 
 // Spawn is the spawn-per-phase runner: Run starts one goroutine per worker,
 // distributes the shards round-robin, and joins them. It holds no
@@ -43,17 +69,34 @@ func (s *Spawn) Run(f func(i int)) {
 		}
 		return
 	}
+	measure := obs.Enabled()
+	var busy []time.Duration
+	var t0 time.Time
+	if measure {
+		busy = make([]time.Duration, s.workers)
+		t0 = time.Now()
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < s.workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			start := time.Time{}
+			if measure {
+				start = time.Now()
+			}
 			for i := w; i < s.shards; i += s.workers {
 				f(i)
+			}
+			if measure {
+				busy[w] = time.Since(start)
 			}
 		}(w)
 	}
 	wg.Wait()
+	if measure {
+		observeBarrier(mBarrierSpawn, time.Since(t0), busy)
+	}
 }
 
 // Close implements transport.Runner (no-op).
@@ -90,6 +133,10 @@ type Pool struct {
 	shards  int
 	workers int
 	closed  bool
+	// busy[w] is worker w's busy time in the phase dispatched last; workers
+	// write their slot before wg.Done, Run reads after wg.Wait. Workers
+	// capture the slice, never the Pool (see the cleanup note in NewPool).
+	busy []time.Duration
 }
 
 // NewPool starts a pool of up to workers persistent goroutines over shards
@@ -109,6 +156,7 @@ func NewPool(shards, workers int) *Pool {
 		return p
 	}
 	p.shared.reqs = make([]chan func(i int), w)
+	p.busy = make([]time.Duration, w)
 	for i := 0; i < w; i++ {
 		// Contiguous blocks, remainder spread over the first shards%w
 		// workers — the same arithmetic as the bin partition, so a pool
@@ -118,10 +166,20 @@ func NewPool(shards, workers int) *Pool {
 		ch := make(chan func(i int))
 		p.shared.reqs[i] = ch
 		wg := p.wg
+		busy, slot := p.busy, i
 		go func() {
 			for f := range ch {
-				for s := lo; s < hi; s++ {
-					f(s)
+				if obs.Enabled() {
+					start := time.Now()
+					for s := lo; s < hi; s++ {
+						f(s)
+					}
+					busy[slot] = time.Since(start)
+				} else {
+					busy[slot] = 0
+					for s := lo; s < hi; s++ {
+						f(s)
+					}
 				}
 				wg.Done()
 			}
@@ -159,11 +217,19 @@ func (p *Pool) Run(f func(i int)) {
 		}
 		return
 	}
+	measure := obs.Enabled()
+	var t0 time.Time
+	if measure {
+		t0 = time.Now()
+	}
 	p.wg.Add(p.workers)
 	for _, ch := range p.shared.reqs {
 		ch <- f
 	}
 	p.wg.Wait()
+	if measure {
+		observeBarrier(mBarrierPool, time.Since(t0), p.busy)
+	}
 }
 
 // Close terminates the worker goroutines. Idempotent.

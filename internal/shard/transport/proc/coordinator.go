@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/shard"
 )
 
@@ -230,6 +231,10 @@ func (e *Engine) step() error {
 	// Collect the exchanges: released/staged counts plus every buffer with
 	// a remote destination. The relay retains the decode buffers per
 	// (src, dst) pair, so steady-state rounds allocate nothing.
+	sp := obs.StartSpan("exchange", obs.LanePhases)
+	tm := obs.StartTimer()
+	count := obs.Enabled()
+	balls, msgs := 0, 0
 	released, staged := 0, 0
 	for _, w := range e.procs {
 		c := w.c
@@ -255,6 +260,10 @@ func (e *Engine) step() error {
 				e.rbuf[src] = make([][]int32, e.s)
 			}
 			e.rbuf[src][dst] = c.rI32Buf(e.rbuf[src][dst])
+			if count && len(e.rbuf[src][dst]) > 0 {
+				balls += len(e.rbuf[src][dst])
+				msgs++
+			}
 		}
 		if c.err != nil {
 			return c.err
@@ -284,6 +293,12 @@ func (e *Engine) step() error {
 			return c.err
 		}
 	}
+	tm.ObserveSeconds(mPhaseExchange)
+	sp.End()
+	if count {
+		mProcExchangeBalls.Add(uint64(balls))
+		mProcExchangeMsgs.Add(uint64(msgs))
+	}
 	// Fold the stats — the round's closing barrier.
 	var max int32
 	empty := 0
@@ -305,6 +320,7 @@ func (e *Engine) step() error {
 	e.maxLoad, e.empty, e.loadBytes = max, empty, loadBytes
 	e.released, e.staged = released, staged
 	e.round++
+	mProcRounds.Inc()
 	return nil
 }
 

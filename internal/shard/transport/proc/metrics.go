@@ -1,0 +1,58 @@
+package proc
+
+import (
+	"io"
+
+	"repro/internal/obs"
+)
+
+// Telemetry of the multi-process transport, recorded on the coordinator
+// side (workers count into their own process registries, which nothing
+// scrapes; that is deliberate — the coordinator owns the run's metrics
+// surface). Observational only; see the obs package doc.
+var (
+	mProcTx = obs.Default.Counter("rbb_proc_tx_bytes_total",
+		"Bytes written to worker-process pipes.")
+	mProcRx = obs.Default.Counter("rbb_proc_rx_bytes_total",
+		"Bytes read from worker-process pipes.")
+	mPhaseExchange = obs.Default.Histogram("rbb_phase_seconds",
+		"Wall-clock duration of one round-protocol phase across all owned shards.",
+		nil, obs.Label{Key: "phase", Value: "exchange"})
+	// Same families the in-process kernel registers: in a proc run the
+	// coordinator holds no Group, so these count the relayed (cross-process)
+	// legs of the exchange instead.
+	mProcRounds = obs.Default.Counter("rbb_rounds_total",
+		"Completed simulation rounds.")
+	mProcExchangeBalls = obs.Default.Counter("rbb_exchange_balls_total",
+		"Balls moved through the exchange (drained at commit).")
+	mProcExchangeMsgs = obs.Default.Counter("rbb_exchange_messages_total",
+		"Non-empty shard-to-shard exchange buffers drained at commit.")
+)
+
+// countingReader / countingWriter sit between the raw pipe and the bufio
+// layer, so one atomic add covers a whole 64 KiB buffered transfer.
+type countingReader struct {
+	r io.Reader
+	c *obs.Counter
+}
+
+func (cr countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	if n > 0 && obs.Enabled() {
+		cr.c.Add(uint64(n))
+	}
+	return n, err
+}
+
+type countingWriter struct {
+	w io.Writer
+	c *obs.Counter
+}
+
+func (cw countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	if n > 0 && obs.Enabled() {
+		cw.c.Add(uint64(n))
+	}
+	return n, err
+}

@@ -47,7 +47,10 @@ type conn struct {
 }
 
 func newConn(r io.Reader, w io.Writer) *conn {
-	return &conn{br: bufio.NewReaderSize(r, 1<<16), bw: bufio.NewWriterSize(w, 1<<16)}
+	return &conn{
+		br: bufio.NewReaderSize(countingReader{r, mProcRx}, 1<<16),
+		bw: bufio.NewWriterSize(countingWriter{w, mProcTx}, 1<<16),
+	}
 }
 
 func (c *conn) fail(err error) {
