@@ -8,13 +8,20 @@
 // value for results that reproduce across machines.
 //
 // Phase placement is selectable and never affects results: -transport
-// picks the in-process transport (pool: persistent workers with
-// shard→worker affinity, the default; spawn: per-phase goroutines), and
-// -procs P executes the run across P worker processes (re-executions of
-// this binary connected by pipes; original process only). The trajectory
-// is a pure function of (seed, n, shards) under every placement — the CI
-// proc-equivalence gate diffs a 2-process run against a single-process one
-// byte for byte.
+// picks where the rounds execute — in process (pool: persistent workers
+// with shard→worker affinity, the default; spawn: per-phase goroutines),
+// across local worker processes over pipes (proc), or across TCP worker
+// processes (tcp; tcp-mesh adds direct worker↔worker exchange delivery so
+// the coordinator relays only barriers, stats and checkpoints). TCP
+// workers self-spawn on loopback by default; -hosts dials
+// `rbb-sim -worker -listen` daemons on other machines instead. -procs P
+// sets the worker process count (P alone implies -transport proc, the
+// historical behavior). The original, tetris — every process kind with a
+// serializable arrival rule — run under every placement, and the
+// trajectory is a pure function of (seed, n, shards) under all of them:
+// the CI equivalence gates diff multi-process runs against single-process
+// ones byte for byte. Internally the flags lower into spec.RunSpec, the
+// same canonical run description rbb-serve accepts over HTTP.
 //
 // Long runs survive restarts: -checkpoint writes whole-run snapshots
 // (periodically with -checkpoint-every, on SIGTERM/SIGINT, and at
@@ -69,12 +76,16 @@ import (
 	"repro/internal/rng"
 	"repro/internal/shard"
 	"repro/internal/shard/transport/proc"
+	"repro/internal/shard/transport/tcp"
+	"repro/internal/spec"
 )
 
 func main() {
-	// A process spawned as a -procs worker never reaches the CLI: it runs
-	// the exchange protocol on its pipes and exits inside MaybeWorker.
+	// A process spawned as a transport worker never reaches the CLI: it
+	// runs the exchange protocol on its pipes (proc) or socket (tcp) and
+	// exits inside MaybeWorker.
 	proc.MaybeWorker()
+	tcp.MaybeWorker()
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "rbb-sim:", err)
 		os.Exit(1)
@@ -113,8 +124,12 @@ func run(args []string, out io.Writer) error {
 		seed      = fs.Uint64("seed", 1, "random seed")
 		every     = fs.Int64("report-every", 0, "print a row every K rounds (0 = auto, ~20 rows)")
 		shards    = fs.Int("shards", 0, "shard count for the data-parallel engine, original|tetris only (0 = GOMAXPROCS; the run is a pure function of seed, n and this value)")
-		transp    = fs.String("transport", "", "in-process phase transport: pool (persistent workers with shard affinity, default) | spawn (per-phase goroutines); never affects results")
-		procs     = fs.Int("procs", 0, "worker processes for the original process (0 or 1 = in-process; each worker holds a contiguous shard range; never affects results)")
+		transp    = fs.String("transport", "", "phase transport: pool (in-process persistent workers with shard affinity, default) | spawn (in-process per-phase goroutines) | proc (worker processes over pipes) | tcp | tcp-mesh (worker processes over TCP; mesh delivers exchanges worker-to-worker); never affects results")
+		procs     = fs.Int("procs", 0, "worker processes for -transport proc|tcp|tcp-mesh (0 or 1 = in-process; -procs P alone implies -transport proc; each worker holds a contiguous shard range; never affects results)")
+		hostsF    = fs.String("hosts", "", "comma-separated `rbb-sim -worker -listen` daemon addresses (host:port) for -transport tcp|tcp-mesh; default: self-spawned loopback workers")
+		workerF   = fs.Bool("worker", false, "run as a TCP transport worker instead of a simulation (requires -connect or -listen)")
+		connectF  = fs.String("connect", "", "with -worker: dial this coordinator address, serve one session, exit")
+		listenF   = fs.String("listen", "", "with -worker: listen on this address and serve coordinator sessions until killed")
 		quant     = fs.String("quantiles", "", "comma-separated probabilities in (0,1); streams P² sketches of the per-round max load and prints them in the summary (e.g. 0.5,0.9,0.99)")
 		ckptPath  = fs.String("checkpoint", "", "write whole-run checkpoints to this file (original process only): every -checkpoint-every rounds, on SIGTERM/SIGINT, and at completion")
 		ckptEvery = fs.Int64("checkpoint-every", 0, "rounds between periodic checkpoints (0 = only on signal and at completion; requires -checkpoint)")
@@ -134,6 +149,25 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, "rbb-sim", obs.Build())
 		return nil
 	}
+	if *workerF {
+		// Worker mode never simulates on its own: it serves coordinator
+		// sessions whose init frames carry the whole run (checkpoint blob +
+		// wire-encoded arrival rule), so the law flags above are meaningless
+		// here and ignored.
+		switch {
+		case *connectF != "" && *listenF != "":
+			return errors.New("-worker takes exactly one of -connect and -listen")
+		case *connectF != "":
+			return tcp.Connect(*connectF)
+		case *listenF != "":
+			return tcp.ListenAndServe(*listenF, os.Stderr)
+		default:
+			return errors.New("-worker requires -connect addr or -listen addr")
+		}
+	}
+	if *connectF != "" || *listenF != "" {
+		return errors.New("-connect and -listen require -worker")
+	}
 	if *rounds < 0 {
 		return fmt.Errorf("need rounds >= 0, got %d", *rounds)
 	}
@@ -146,21 +180,13 @@ func run(args []string, out io.Writer) error {
 	if *ckptComp && *ckptPath == "" {
 		return errors.New("-checkpoint-compress requires -checkpoint")
 	}
-	tkind, err := shard.ParseTransportKind(*transp)
-	if err != nil {
-		return err
-	}
 	width, err := engine.ParseWidth(*loadWidth)
 	if err != nil {
 		return err
 	}
-	if *procs < 0 {
-		return fmt.Errorf("need procs >= 0, got %d", *procs)
-	}
-	if *procs > 1 && *transp != "" {
-		// Workers always step their shard range through the local pool;
-		// silently accepting the flag would mislabel an ablation.
-		return errors.New("-transport selects the in-process transport; drop it with -procs > 1 (workers always use the pool)")
+	pl, err := placementFromFlags(*transp, *procs, *hostsF)
+	if err != nil {
+		return err
 	}
 	// Telemetry sinks are side channels (file or stderr, never stdout), so
 	// -trace and -metrics cannot perturb byte-compared summaries. Started
@@ -173,8 +199,9 @@ func run(args []string, out io.Writer) error {
 	if *resume != "" {
 		// The checkpoint is self-describing; flags that would contradict it
 		// are rejected rather than silently ignored. Placement flags
-		// (-transport, -procs, workers) stay free: they never change the
-		// law, so any checkpoint resumes under any placement.
+		// (-transport, -procs, -hosts, workers) stay free: they never change
+		// the law, so any checkpoint resumes under any placement — a run
+		// born on pipes migrates to a TCP mesh across machines mid-flight.
 		fixed := map[string]bool{
 			"n": true, "m": true, "seed": true, "init": true, "process": true,
 			"strategy": true, "lambda": true, "d": true, "shards": true, "quantiles": true,
@@ -192,10 +219,7 @@ func run(args []string, out io.Writer) error {
 		if conflict != "" {
 			return fmt.Errorf("-resume takes -%s from the checkpoint file; drop the flag", conflict)
 		}
-		return runResumed(out, *resume, *rounds, *every, *ckptPath, *ckptEvery, *procs, tkind, *ckptComp, *timings, *jsonOut)
-	}
-	if *procs > 1 && *process != "original" {
-		return fmt.Errorf("-procs supports only -process original (got %q)", *process)
+		return runResumed(out, *resume, *rounds, *every, *ckptPath, *ckptEvery, pl, *ckptComp, *timings, *jsonOut)
 	}
 	if *ckptPath != "" && *process != "original" {
 		return fmt.Errorf("-checkpoint supports only -process original (got %q)", *process)
@@ -214,39 +238,44 @@ func run(args []string, out io.Writer) error {
 	if balls == 0 {
 		balls = *n
 	}
-	src := rng.New(*seed)
-	loads, err := config.Make(config.Generator(*initName), *n, balls, src)
-	if err != nil {
+	// The sharded process kinds lower into the canonical spec.RunSpec — the
+	// same run description rbb-serve accepts over HTTP — and let it pick the
+	// backend for the placement. NormalizePlacement is the CLI slice of the
+	// spec validation: it folds -procs defaults and rejects contradictory
+	// placements while leaving shards=0 (GOMAXPROCS) and rounds semantics to
+	// the flags above.
+	rs := spec.RunSpec{
+		Process: spec.ProcessRBB, Seed: *seed, N: *n, M: balls, Shards: *shards,
+		Init: *initName, LoadWidth: int(width), Placement: pl,
+	}
+	if *process == "tetris" {
+		rs.Process, rs.M, rs.Lambda = spec.ProcessTetris, 0, *lambda
+	}
+	if err := rs.NormalizePlacement(); err != nil {
 		return err
 	}
+	switch rs.Placement.Transport {
+	case spec.TransportPool, spec.TransportSpawn:
+	default:
+		if *process != "original" && *process != "tetris" {
+			return fmt.Errorf("-transport %s supports only -process original|tetris (got %q)", rs.Placement.Transport, *process)
+		}
+	}
 
-	shOpts := shard.Options{Shards: *shards, Transport: tkind, Width: width}
 	var s engine.Stepper
 	switch *process {
-	case "original":
-		if *procs > 1 {
-			e, err := proc.NewProcess(loads, *seed, proc.Options{Shards: *shards, Procs: *procs, Width: width})
-			if err != nil {
-				return err
-			}
-			defer e.Close()
-			s = e
-			break
-		}
-		p, err := shard.NewProcess(loads, *seed, shOpts)
-		if err != nil {
-			return err
-		}
-		defer p.Close()
-		s = p
-	case "tetris":
-		p, err := shard.NewTetris(loads, *seed, shard.TetrisOptions{Options: shOpts, Lambda: *lambda})
+	case "original", "tetris":
+		p, err := rs.Build(0)
 		if err != nil {
 			return err
 		}
 		defer p.Close()
 		s = p
 	case "token":
+		loads, src, err := seededLoads(*n, balls, *initName, *seed)
+		if err != nil {
+			return err
+		}
 		strat, err := core.ParseStrategy(*strategy)
 		if err != nil {
 			return err
@@ -257,12 +286,20 @@ func run(args []string, out io.Writer) error {
 		}
 		s = p
 	case "choices":
+		loads, src, err := seededLoads(*n, balls, *initName, *seed)
+		if err != nil {
+			return err
+		}
 		p, err := core.NewChoicesProcess(loads, *choices, src)
 		if err != nil {
 			return err
 		}
 		s = p
 	case "jackson":
+		loads, src, err := seededLoads(*n, balls, *initName, *seed)
+		if err != nil {
+			return err
+		}
 		net, err := jackson.New(loads, src)
 		if err != nil {
 			return err
@@ -285,6 +322,8 @@ func run(args []string, out io.Writer) error {
 			shardInfo = fmt.Sprintf(" shards=%d", p.Engine().Shards())
 		case *proc.Engine:
 			shardInfo = fmt.Sprintf(" shards=%d procs=%d", p.Shards(), p.Procs())
+		case *tcp.Engine:
+			shardInfo = fmt.Sprintf(" shards=%d procs=%d transport=%s", p.Shards(), p.Procs(), rs.Placement.Transport)
 		}
 		fmt.Fprintf(out, "# %s process, n=%d m=%d init=%s seed=%d%s (legitimate: max load <= %d)\n",
 			*process, *n, balls, *initName, *seed, shardInfo, threshold)
@@ -411,41 +450,37 @@ func printSummary(out io.Writer, sum shard.Summary) error {
 	return enc.Encode(sum)
 }
 
-// runResumed rebuilds a run from a checkpoint file — in-process, or spread
-// over worker processes when procs > 1 (the snapshot doubles as the worker
-// join payload) — and continues it to the target round.
-func runResumed(out io.Writer, path string, target, every int64, ckptPath string, ckptEvery int64, procs int, tkind shard.TransportKind, compress, timings, jsonOut bool) error {
+// runResumed rebuilds a run from a checkpoint file on the requested
+// placement — in process, over local worker processes, or over a TCP
+// worker mesh (the snapshot doubles as the worker join payload, so a run
+// born under one placement migrates to any other, machines included) —
+// and continues it to the target round.
+func runResumed(out io.Writer, path string, target, every int64, ckptPath string, ckptEvery int64, pl spec.Placement, compress, timings, jsonOut bool) error {
 	snap, err := checkpoint.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	var (
-		p      checkpoint.Process
-		pipe   *shard.Pipeline
-		balls  int64
-		shards int
-		info   string
-	)
-	if procs > 1 {
-		e, err := proc.New(snap, proc.Options{Procs: procs})
-		if err != nil {
-			return err
+	rs := spec.RunSpec{Process: spec.ProcessRBB, Placement: pl}
+	if err := rs.NormalizePlacement(); err != nil {
+		return err
+	}
+	sp, pipe, err := rs.Open(snap, 0)
+	if err != nil {
+		return err
+	}
+	defer sp.Close()
+	p, ok := sp.(checkpoint.Process)
+	if !ok {
+		return fmt.Errorf("placement %q cannot snapshot a resumed run", rs.Placement.Transport)
+	}
+	balls := sp.(interface{ Balls() int64 }).Balls()
+	shards := len(snap.Engine.Shards)
+	var info string
+	if pe, ok := sp.(interface{ Procs() int }); ok {
+		info = fmt.Sprintf(" procs=%d", pe.Procs())
+		if t := rs.Placement.Transport; t != spec.TransportProc {
+			info += fmt.Sprintf(" transport=%s", t)
 		}
-		defer e.Close()
-		if snap.Observer != nil {
-			if pipe, err = shard.RestorePipeline(snap.Observer); err != nil {
-				return err
-			}
-		}
-		p, balls, shards = e, e.Balls(), e.Shards()
-		info = fmt.Sprintf(" procs=%d", e.Procs())
-	} else {
-		sp, spipe, err := checkpoint.Resume(snap, shard.Options{Transport: tkind})
-		if err != nil {
-			return err
-		}
-		defer sp.Close()
-		p, pipe, balls, shards = sp, spipe, sp.Balls(), sp.Engine().Shards()
 	}
 	if target < p.Round() {
 		return fmt.Errorf("checkpoint is already at round %d, past the target -rounds %d (the flag counts total rounds from the original start, not additional rounds)", p.Round(), target)
@@ -544,6 +579,50 @@ func reportInterval(every, rounds int64) int64 {
 		interval = 1
 	}
 	return interval
+}
+
+// placementFromFlags folds the CLI placement flags into the canonical
+// spec.Placement. -procs keeps its historical meaning: P alone implies
+// -transport proc (worker processes over pipes); with an explicit
+// multi-process transport it just sets the worker process count.
+// Validation beyond flag folding belongs to spec.NormalizePlacement.
+func placementFromFlags(transport string, procs int, hosts string) (spec.Placement, error) {
+	if procs < 0 {
+		return spec.Placement{}, fmt.Errorf("need procs >= 0, got %d", procs)
+	}
+	pl := spec.Placement{Transport: transport}
+	if hosts != "" {
+		for _, h := range strings.Split(hosts, ",") {
+			if h = strings.TrimSpace(h); h != "" {
+				pl.Hosts = append(pl.Hosts, h)
+			}
+		}
+	}
+	switch transport {
+	case spec.TransportProc, spec.TransportTCP, spec.TransportTCPMesh:
+		pl.Procs = procs
+	case "":
+		if procs > 1 {
+			pl.Transport = spec.TransportProc
+			pl.Procs = procs
+		}
+	default:
+		if procs > 1 {
+			return spec.Placement{}, fmt.Errorf("-procs %d needs a multi-process -transport (proc|tcp|tcp-mesh), got %q", procs, transport)
+		}
+	}
+	return pl, nil
+}
+
+// seededLoads builds the initial configuration for the sequential process
+// kinds, which keep drawing from the returned source after it.
+func seededLoads(n, balls int, initName string, seed uint64) ([]int32, *rng.Source, error) {
+	src := rng.New(seed)
+	loads, err := config.Make(config.Generator(initName), n, balls, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return loads, src, nil
 }
 
 // parseQuantiles parses the -quantiles flag.

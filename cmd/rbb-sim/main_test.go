@@ -11,13 +11,16 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/shard"
 	"repro/internal/shard/transport/proc"
+	"repro/internal/shard/transport/tcp"
 )
 
-// TestMain doubles as the -procs worker entry point: coordinator engines
-// spawned by these tests re-execute the test binary, and MaybeWorker
-// diverts the children into the worker protocol.
+// TestMain doubles as the transport worker entry point: coordinator
+// engines spawned by these tests re-execute the test binary, and
+// MaybeWorker diverts the children into the worker protocol (pipes or
+// TCP).
 func TestMain(m *testing.M) {
 	proc.MaybeWorker()
+	tcp.MaybeWorker()
 	os.Exit(m.Run())
 }
 
@@ -58,6 +61,95 @@ func TestRunProcs(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "shards=4 procs=2") {
 		t.Errorf("header missing procs info:\n%s", sb.String())
+	}
+}
+
+// TestRunTCPTransports: the CLI face of the TCP leg of the
+// transport-invariance matrix — -transport tcp and tcp-mesh runs print the
+// byte-identical -json summary of the in-process run, and the human header
+// names the placement.
+func TestRunTCPTransports(t *testing.T) {
+	args := []string{"-n", "1024", "-rounds", "120", "-shards", "4", "-quantiles", "0.5", "-seed", "9", "-json"}
+	var inproc strings.Builder
+	if err := run(args, &inproc); err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range []string{"tcp", "tcp-mesh"} {
+		var got strings.Builder
+		if err := run(append(args, "-transport", tr, "-procs", "2"), &got); err != nil {
+			t.Fatalf("-transport %s: %v", tr, err)
+		}
+		if got.String() != inproc.String() {
+			t.Errorf("-transport %s changed the summary:\n%s\n%s", tr, got.String(), inproc.String())
+		}
+	}
+	var sb strings.Builder
+	if err := run([]string{"-n", "256", "-rounds", "40", "-shards", "4", "-transport", "tcp-mesh", "-seed", "3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "shards=4 procs=2 transport=tcp-mesh") {
+		t.Errorf("header missing tcp placement info:\n%s", sb.String())
+	}
+}
+
+// TestRunTetrisProcs: tetris crosses process boundaries too — its arrival
+// rule travels in the worker init frame — so tetris over pipes and over a
+// TCP mesh matches the in-process run byte for byte.
+func TestRunTetrisProcs(t *testing.T) {
+	args := []string{"-n", "256", "-rounds", "300", "-process", "tetris", "-shards", "4", "-seed", "6", "-json"}
+	var inproc strings.Builder
+	if err := run(args, &inproc); err != nil {
+		t.Fatal(err)
+	}
+	for _, extra := range [][]string{
+		{"-procs", "2"},
+		{"-transport", "tcp-mesh", "-procs", "2"},
+	} {
+		var got strings.Builder
+		if err := run(append(args, extra...), &got); err != nil {
+			t.Fatalf("%v: %v", extra, err)
+		}
+		if got.String() != inproc.String() {
+			t.Errorf("%v changed the tetris summary:\n%s\n%s", extra, got.String(), inproc.String())
+		}
+	}
+}
+
+// TestRunResumeTCPMigration: a checkpoint written by an in-process run
+// resumes onto the TCP mesh and finishes byte-identical to the
+// uninterrupted run — the CLI face of the cross-machine migration story.
+func TestRunResumeTCPMigration(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.ckpt")
+	half := filepath.Join(dir, "half.ckpt")
+	res := filepath.Join(dir, "resumed.ckpt")
+	var sb strings.Builder
+	common := []string{"-n", "1024", "-shards", "4", "-seed", "8", "-quantiles", "0.9"}
+	if err := run(append(common, "-rounds", "200", "-checkpoint", full), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(common, "-rounds", "100", "-checkpoint", half), &sb); err != nil {
+		t.Fatal(err)
+	}
+	var resOut strings.Builder
+	if err := run([]string{"-resume", half, "-rounds", "200", "-checkpoint", res,
+		"-transport", "tcp-mesh", "-procs", "2"}, &resOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resOut.String(), "resumed at round 100") ||
+		!strings.Contains(resOut.String(), "transport=tcp-mesh") {
+		t.Errorf("resume header missing migration info:\n%s", resOut.String())
+	}
+	a, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("checkpoint migrated to the TCP mesh diverged from the uninterrupted run")
 	}
 }
 
@@ -193,8 +285,15 @@ func TestRunErrors(t *testing.T) {
 		{"-quantiles", "abc"},
 		{"-transport", "bogus"},
 		{"-procs", "-1"},
-		{"-procs", "2", "-process", "tetris"},
+		{"-procs", "2", "-process", "token"},
 		{"-procs", "2", "-transport", "spawn"},
+		{"-hosts", "localhost:1", "-transport", "proc"},
+		{"-hosts", "localhost:1", "-transport", "tcp", "-procs", "2"},
+		{"-hosts", "a,b,c", "-transport", "tcp", "-shards", "2"},
+		{"-connect", "localhost:1"},
+		{"-listen", "localhost:0"},
+		{"-worker"},
+		{"-worker", "-connect", "localhost:1", "-listen", "localhost:0"},
 	}
 	for _, args := range cases {
 		if err := run(args, &sb); err == nil {

@@ -17,12 +17,13 @@
 // # Determinism
 //
 // A run is the same pure function of (seed, n, shards) the CLI computes:
-// the server builds the initial configuration and the sharded process
-// exactly as cmd/rbb-sim does, so a run's result — and its byte-exact
-// Summary encoding — matches `rbb-sim -json` for the same spec, no matter
-// how many other runs share the scheduler. The worker budget, the per-run
-// phase workers and the requested phase transport (Spec.Transport: the
-// persistent affinity pool or per-phase goroutine spawning) change
+// the server builds the initial configuration and the process exactly as
+// cmd/rbb-sim does — both lower the same spec.RunSpec — so a run's result
+// and its byte-exact Summary encoding match `rbb-sim -json` for the same
+// spec, no matter how many other runs share the scheduler. The worker
+// budget, the per-run phase workers and the requested placement
+// (Spec.Placement: in-process pool or spawn, local worker processes over
+// pipes, or TCP workers — self-spawned or daemons on other hosts) change
 // wall-clock only.
 //
 // # Result cache
@@ -54,160 +55,23 @@
 package serve
 
 import (
-	"fmt"
-	"math"
-	"slices"
-
-	"repro/internal/config"
 	"repro/internal/shard"
+	"repro/internal/spec"
 )
 
-// Process kinds accepted by Spec.Process.
+// Spec is a run submission — the canonical spec.RunSpec, verbatim. The
+// HTTP body is its JSON encoding; see the spec package for every field,
+// the placement surface and the compatibility shim that keeps
+// pre-placement bodies (flat "transport" field) decoding unchanged.
+type Spec = spec.RunSpec
+
+// Process kinds accepted by Spec.Process, re-exported for callers of the
+// Go API.
 const (
-	// ProcessRBB is the paper's repeated balls-into-bins process
-	// (checkpointable: periodic snapshots, snapshot-and-stop, resume).
-	ProcessRBB = "rbb"
-	// ProcessTetris is the leaky-bins process with a deterministic ⌈λn⌉
-	// batch per round.
-	ProcessTetris = "tetris"
-	// ProcessBatches is the leaky-bins process with Binomial(n, λ) batches
-	// — the Berenbrink et al. (2016) batched-arrival model.
-	ProcessBatches = "batches"
+	ProcessRBB     = spec.ProcessRBB
+	ProcessTetris  = spec.ProcessTetris
+	ProcessBatches = spec.ProcessBatches
 )
-
-// Spec is a run submission. The zero value of every optional field selects
-// the documented default; Normalize makes the defaults explicit so the
-// stored spec is self-describing.
-type Spec struct {
-	// Process is the process kind: rbb (default), tetris, or batches.
-	Process string `json:"process,omitempty"`
-	// Seed is the master seed; shard s draws from rng.NewStream(Seed, s).
-	Seed uint64 `json:"seed"`
-	// N is the number of bins (required, ≥ 1).
-	N int `json:"n"`
-	// M is the number of balls for rbb (default N; ignored by tetris and
-	// batches, whose ball count is dynamic).
-	M int `json:"m,omitempty"`
-	// Rounds is the target round count (required, ≥ 1).
-	Rounds int64 `json:"rounds"`
-	// Shards is the shard count S, part of the random law's key (default
-	// 1, so results reproduce across machines unless the client opts into
-	// a wider decomposition).
-	Shards int `json:"shards,omitempty"`
-	// Init names the initial configuration family (default one-per-bin).
-	Init string `json:"init,omitempty"`
-	// Lambda is the per-bin arrival rate for tetris and batches (default
-	// 0.75, the paper's stable regime).
-	Lambda float64 `json:"lambda,omitempty"`
-	// Quantiles are the max-load quantile probabilities tracked by the
-	// run's P² sketches, each in (0, 1).
-	Quantiles []float64 `json:"quantiles,omitempty"`
-	// CheckpointEvery is the periodic snapshot period in rounds for rbb
-	// runs (0 = the server's default; snapshots are also written on
-	// shutdown and at completion). Ignored without a data directory.
-	CheckpointEvery int64 `json:"checkpoint_every,omitempty"`
-	// StreamEvery is the round period of stream events (0 = auto,
-	// ~256 events per run).
-	StreamEvery int64 `json:"stream_every,omitempty"`
-	// Transport selects the in-process phase transport stepping the run:
-	// "pool" (persistent workers with shard→worker affinity, the default)
-	// or "spawn" (per-phase goroutines). It never affects the result —
-	// only wall-clock — and is therefore excluded from the result-cache
-	// key.
-	Transport string `json:"transport,omitempty"`
-}
-
-// Normalize fills defaults in place and validates the spec.
-func (sp *Spec) Normalize(defaultCheckpointEvery int64) error {
-	if sp.Process == "" {
-		sp.Process = ProcessRBB
-	}
-	switch sp.Process {
-	case ProcessRBB, ProcessTetris, ProcessBatches:
-	default:
-		return fmt.Errorf("unknown process %q (want %s|%s|%s)", sp.Process, ProcessRBB, ProcessTetris, ProcessBatches)
-	}
-	if sp.N < 1 {
-		return fmt.Errorf("need n >= 1, got %d", sp.N)
-	}
-	if sp.Rounds < 1 {
-		return fmt.Errorf("need rounds >= 1, got %d", sp.Rounds)
-	}
-	if sp.Process == ProcessRBB {
-		if sp.M == 0 {
-			sp.M = sp.N
-		}
-		if sp.M < 0 {
-			return fmt.Errorf("need m >= 0, got %d", sp.M)
-		}
-		if sp.Lambda != 0 {
-			return fmt.Errorf("lambda applies only to the tetris and batches processes")
-		}
-	} else {
-		if sp.M != 0 {
-			return fmt.Errorf("m applies only to the rbb process")
-		}
-		// A JSON 0 is indistinguishable from an absent field, so 0 means
-		// "default" rather than an error, matching rbb-sim's -lambda flag.
-		if sp.Lambda == 0 {
-			sp.Lambda = 0.75
-		}
-		if sp.Lambda < 0 || sp.Lambda > 1 || math.IsNaN(sp.Lambda) {
-			return fmt.Errorf("need lambda in (0, 1], got %v", sp.Lambda)
-		}
-	}
-	if sp.Shards == 0 {
-		sp.Shards = 1
-	}
-	if sp.Shards < 1 {
-		return fmt.Errorf("need shards >= 1, got %d", sp.Shards)
-	}
-	if sp.Shards > sp.N {
-		return fmt.Errorf("need shards <= n, got %d > %d", sp.Shards, sp.N)
-	}
-	if sp.Init == "" {
-		sp.Init = string(config.GenOnePerBin)
-	}
-	if !slices.Contains(config.Generators(), config.Generator(sp.Init)) {
-		return fmt.Errorf("unknown init %q", sp.Init)
-	}
-	for _, q := range sp.Quantiles {
-		if math.IsNaN(q) || q <= 0 || q >= 1 {
-			return fmt.Errorf("quantile %v outside (0, 1)", q)
-		}
-	}
-	if sp.CheckpointEvery < 0 {
-		return fmt.Errorf("need checkpoint_every >= 0, got %d", sp.CheckpointEvery)
-	}
-	if sp.CheckpointEvery == 0 {
-		sp.CheckpointEvery = defaultCheckpointEvery
-	}
-	if sp.StreamEvery < 0 {
-		return fmt.Errorf("need stream_every >= 0, got %d", sp.StreamEvery)
-	}
-	if sp.StreamEvery == 0 {
-		sp.StreamEvery = sp.Rounds / 256
-		if sp.StreamEvery < 1 {
-			sp.StreamEvery = 1
-		}
-	}
-	kind, err := shard.ParseTransportKind(sp.Transport)
-	if err != nil {
-		return fmt.Errorf("unknown transport %q (want pool|spawn)", sp.Transport)
-	}
-	sp.Transport = kind.String()
-	return nil
-}
-
-// transportKind returns the normalized phase-transport kind of the spec
-// (specs persisted before the transport field default to the pool).
-func (sp Spec) transportKind() shard.TransportKind {
-	kind, err := shard.ParseTransportKind(sp.Transport)
-	if err != nil {
-		return shard.TransportPool
-	}
-	return kind
-}
 
 // Status is a run's scheduler state.
 type Status string

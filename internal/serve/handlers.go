@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"repro/internal/obs"
+	sp "repro/internal/spec"
 )
 
 // maxBodyBytes bounds a submission body; a Spec is a few hundred bytes.
@@ -60,8 +61,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	}
 	info, err := s.Submit(spec)
 	if err != nil {
-		var bad *badRequestError
+		var (
+			bad         *badRequestError
+			unreachable *sp.UnreachableHostsError
+		)
 		switch {
+		case errors.As(err, &unreachable):
+			// Structured body: clients retrying a placement need the bad
+			// addresses, not a prose blob to parse.
+			writeJSON(w, http.StatusBadRequest, map[string]any{
+				"error":       err.Error(),
+				"unreachable": unreachable.Hosts,
+			})
 		case errors.As(err, &bad):
 			writeError(w, http.StatusBadRequest, err.Error())
 		case errors.Is(err, errQueueFull):

@@ -83,7 +83,7 @@ func TestRestartResume(t *testing.T) {
 	if err := normalized.Normalize(opts.CheckpointEvery); err != nil {
 		t.Fatal(err)
 	}
-	loads, err := makeLoads(normalized)
+	loads, err := normalized.MakeLoads()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/shard"
+	"repro/internal/spec"
 	"repro/internal/tetris"
 )
 
@@ -39,7 +40,7 @@ func refSummary(t *testing.T, spec Spec) shard.Summary {
 	if err := spec.Normalize(0); err != nil {
 		t.Fatal(err)
 	}
-	loads, err := makeLoads(spec)
+	loads, err := spec.MakeLoads()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -415,9 +416,9 @@ func TestSpecNormalizeDefaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := Spec{
-		Process: ProcessRBB, Seed: 1, N: 100, M: 100, Rounds: 1000,
+		Version: 1, Process: ProcessRBB, Seed: 1, N: 100, M: 100, Rounds: 1000,
 		Shards: 1, Init: "one-per-bin", CheckpointEvery: 250, StreamEvery: 3,
-		Transport: "pool",
+		Placement: spec.Placement{Transport: spec.TransportPool},
 	}
 	if !reflect.DeepEqual(sp, want) {
 		t.Fatalf("normalized:\n got %+v\nwant %+v", sp, want)

@@ -6,18 +6,13 @@ import (
 	"fmt"
 	"log/slog"
 	"runtime"
-	"sort"
-	"strconv"
-	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/checkpoint"
-	"repro/internal/config"
 	"repro/internal/engine"
-	"repro/internal/rng"
 	"repro/internal/shard"
-	"repro/internal/tetris"
+	"repro/internal/spec"
 )
 
 // Options configures a Server.
@@ -97,22 +92,10 @@ type cacheEntry struct {
 }
 
 // specKey canonicalizes the result-determining fields of a normalized
-// spec. Placement and snapshot knobs (Transport, CheckpointEvery,
+// spec. Placement and snapshot knobs (Placement, CheckpointEvery,
 // StreamEvery) are deliberately absent: they never perturb the trajectory,
 // so specs differing only there share a result.
-func specKey(sp Spec) string {
-	qs := append([]float64(nil), sp.Quantiles...)
-	sort.Float64s(qs)
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s|%d|%d|%d|%d|%d|%s|%s",
-		sp.Process, sp.Seed, sp.N, sp.M, sp.Rounds, sp.Shards, sp.Init,
-		strconv.FormatFloat(sp.Lambda, 'g', -1, 64))
-	for _, q := range qs {
-		b.WriteByte('|')
-		b.WriteString(strconv.FormatFloat(q, 'g', -1, 64))
-	}
-	return b.String()
-}
+func specKey(sp Spec) string { return sp.ResultKey() }
 
 // New builds a server, restores any persisted state from opts.Dir, and
 // starts the worker pool. Queued and interrupted runs from a previous
@@ -234,6 +217,13 @@ func (s *Server) restore() error {
 // slot or a worker.
 func (s *Server) Submit(spec Spec) (RunInfo, error) {
 	if err := spec.Normalize(s.opts.CheckpointEvery); err != nil {
+		return RunInfo{}, &badRequestError{err}
+	}
+	// Reject unreachable placement hosts at submit time: failing the
+	// misconfigured submission with an attributable 4xx beats queueing a
+	// run that dies mid-join. Probed before the cache lookup so a bad
+	// placement is rejected deterministically, hit or miss.
+	if err := spec.ProbePlacement(0); err != nil {
 		return RunInfo{}, &badRequestError{err}
 	}
 	s.mu.Lock()
@@ -592,17 +582,6 @@ func (s *Server) execute(r *run) {
 	s.gc()
 }
 
-// makeLoads builds the initial configuration exactly as cmd/rbb-sim does:
-// config.Make seeded with rng.New(seed) — the first half of the
-// (seed, n, shards) purity contract.
-func makeLoads(spec Spec) ([]int32, error) {
-	balls := spec.M
-	if spec.Process != ProcessRBB {
-		balls = spec.N
-	}
-	return config.Make(config.Generator(spec.Init), spec.N, balls, rng.New(spec.Seed))
-}
-
 // streamObserver emits an Event every spec.StreamEvery rounds and at the
 // target round.
 func streamObserver(r *run, pipe *shard.Pipeline, spec Spec) engine.Observer {
@@ -622,12 +601,13 @@ func streamObserver(r *run, pipe *shard.Pipeline, spec Spec) engine.Observer {
 
 // runRBB executes (or resumes) a checkpointable rbb run under
 // checkpoint.Run: periodic snapshots, on-demand trigger snapshots, and
-// snapshot-and-stop on ctx cancellation.
-func (s *Server) runRBB(ctx context.Context, r *run, spec Spec) (int64, bool, *shard.Summary, error) {
+// snapshot-and-stop on ctx cancellation. The spec's placement decides
+// where the rounds execute — in process, over worker-process pipes, or
+// over TCP workers — never what they compute.
+func (s *Server) runRBB(ctx context.Context, r *run, sp Spec) (int64, bool, *shard.Summary, error) {
 	id := r.Info().ID
-	shOpts := shard.Options{Shards: spec.Shards, Workers: s.opts.RunWorkers, Transport: spec.transportKind()}
 	var (
-		p    *shard.Process
+		proc spec.Process
 		pipe *shard.Pipeline
 	)
 	resume := false
@@ -646,33 +626,34 @@ func (s *Server) runRBB(ctx context.Context, r *run, spec Spec) (int64, bool, *s
 		// identity against the spec so a stale or foreign file (recycled
 		// id, operator-edited store) can never impersonate this run's
 		// result.
-		if snap.Seed != spec.Seed || snap.Engine.N != spec.N || len(snap.Engine.Shards) != spec.Shards {
+		if snap.Seed != sp.Seed || snap.Engine.N != sp.N || len(snap.Engine.Shards) != sp.Shards {
 			return 0, false, nil, fmt.Errorf("resume: checkpoint is for (seed %d, n %d, shards %d), spec wants (seed %d, n %d, shards %d)",
-				snap.Seed, snap.Engine.N, len(snap.Engine.Shards), spec.Seed, spec.N, spec.Shards)
+				snap.Seed, snap.Engine.N, len(snap.Engine.Shards), sp.Seed, sp.N, sp.Shards)
 		}
-		p, pipe, err = checkpoint.Resume(snap, shOpts)
+		proc, pipe, err = sp.Open(snap, s.opts.RunWorkers)
 		if err != nil {
 			return 0, false, nil, fmt.Errorf("resume: %w", err)
 		}
 	} else {
-		loads, err := makeLoads(spec)
-		if err != nil {
-			return 0, false, nil, err
-		}
-		if p, err = shard.NewProcess(loads, spec.Seed, shOpts); err != nil {
+		var err error
+		if proc, err = sp.Build(s.opts.RunWorkers); err != nil {
 			return 0, false, nil, err
 		}
 	}
-	defer p.Close()
+	defer proc.Close()
+	p, ok := proc.(checkpoint.Process)
+	if !ok {
+		return 0, false, nil, fmt.Errorf("placement %q cannot snapshot an rbb run", sp.Placement.Transport)
+	}
 	if pipe == nil {
 		var err error
-		if pipe, err = shard.NewPipeline(spec.Quantiles); err != nil {
+		if pipe, err = shard.NewPipeline(sp.Quantiles); err != nil {
 			return 0, false, nil, err
 		}
 	}
 	pol := checkpoint.Policy{
-		Every:    spec.CheckpointEvery,
-		Seed:     spec.Seed,
+		Every:    sp.CheckpointEvery,
+		Seed:     sp.Seed,
 		Pipeline: pipe,
 		Trigger:  r.trigger,
 		// A client cancellation deletes the run's checkpoint right after
@@ -683,7 +664,7 @@ func (s *Server) runRBB(ctx context.Context, r *run, spec Spec) (int64, bool, *s
 	if s.store != nil {
 		pol.Path = s.store.CheckpointPath(id)
 	}
-	round, interrupted, err := checkpoint.Run(ctx, p, spec.Rounds, pol, streamObserver(r, pipe, spec))
+	round, interrupted, err := checkpoint.Run(ctx, p, sp.Rounds, pol, streamObserver(r, pipe, sp))
 	if err != nil {
 		return round, interrupted, nil, err
 	}
@@ -691,32 +672,21 @@ func (s *Server) runRBB(ctx context.Context, r *run, spec Spec) (int64, bool, *s
 	return round, interrupted, &sum, nil
 }
 
-// runTetris executes a tetris or batches run (no snapshot support: a
-// shutdown re-queues it from round zero, which replays the identical
-// trajectory).
-func (s *Server) runTetris(ctx context.Context, r *run, spec Spec) (int64, bool, *shard.Summary, error) {
-	loads, err := makeLoads(spec)
-	if err != nil {
-		return 0, false, nil, err
-	}
-	law := tetris.Deterministic
-	if spec.Process == ProcessBatches {
-		law = tetris.BinomialArrivals
-	}
-	tp, err := shard.NewTetris(loads, spec.Seed, shard.TetrisOptions{
-		Options: shard.Options{Shards: spec.Shards, Workers: s.opts.RunWorkers, Transport: spec.transportKind()},
-		Law:     law,
-		Lambda:  spec.Lambda,
-	})
+// runTetris executes a tetris or batches run on the spec's placement (the
+// serialized arrival rules carry these processes across process and
+// machine boundaries too). No snapshot support: a shutdown re-queues the
+// run from round zero, which replays the identical trajectory.
+func (s *Server) runTetris(ctx context.Context, r *run, sp Spec) (int64, bool, *shard.Summary, error) {
+	tp, err := sp.Build(s.opts.RunWorkers)
 	if err != nil {
 		return 0, false, nil, err
 	}
 	defer tp.Close()
-	pipe, err := shard.NewPipeline(spec.Quantiles)
+	pipe, err := shard.NewPipeline(sp.Quantiles)
 	if err != nil {
 		return 0, false, nil, err
 	}
-	_, stopped := engine.RunContext(ctx, tp, spec.Rounds, pipe, streamObserver(r, pipe, spec))
+	_, stopped := engine.RunContext(ctx, tp, sp.Rounds, pipe, streamObserver(r, pipe, sp))
 	if stopped {
 		return tp.Round(), true, nil, nil
 	}
@@ -728,6 +698,7 @@ func (s *Server) runTetris(ctx context.Context, r *run, spec Spec) (int64, bool,
 type badRequestError struct{ err error }
 
 func (e *badRequestError) Error() string { return e.err.Error() }
+func (e *badRequestError) Unwrap() error { return e.err }
 
 var (
 	errUnknownRun = errors.New("unknown run")

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/dist"
 	"repro/internal/engine"
 	"repro/internal/rng"
 	"repro/internal/tetris"
@@ -147,11 +146,8 @@ type TetrisOptions struct {
 // Poisson(λn) exactly.
 type Tetris struct {
 	eng    *Engine
-	law    tetris.ArrivalLaw
-	lambda float64
-	quota  []int
-	binom  []*dist.Binomial
-	pois   []*dist.Poisson
+	rule   ArrivalRule
+	arrive Arrivals
 	balls  int64
 
 	// firstEmpty[u] is the first round at which global bin u was empty (0
@@ -169,16 +165,15 @@ func NewTetris(loads []int32, seed uint64, opts TetrisOptions) (*Tetris, error) 
 		return nil, errors.New("shard: NewTetris does not support a caller OnEmptied")
 	}
 	n := len(loads)
-	lambda := opts.Lambda
-	if lambda == 0 {
-		lambda = 0.75
+	rule, err := RuleForLaw(opts.Law, opts.Lambda)
+	if err != nil {
+		return nil, err
 	}
-	if lambda < 0 || lambda > 1 || math.IsNaN(lambda) {
-		return nil, fmt.Errorf("shard: lambda = %v outside (0, 1]", opts.Lambda)
+	if rule, err = rule.Normalize(); err != nil {
+		return nil, err
 	}
 	t := &Tetris{
-		law:        opts.Law,
-		lambda:     lambda,
+		rule:       rule,
 		firstEmpty: make([]int64, n),
 	}
 	shOpts := opts.Options
@@ -199,37 +194,8 @@ func NewTetris(loads []int32, seed uint64, opts TetrisOptions) (*Tetris, error) 
 			t.perShardNever[eng.shardOf(u)]++
 		}
 	}
-	switch opts.Law {
-	case tetris.Deterministic:
-		k := int(math.Ceil(lambda * float64(n)))
-		t.quota = make([]int, s)
-		base, rem := k/s, k%s
-		for i := range t.quota {
-			t.quota[i] = base
-			if i < rem {
-				t.quota[i]++
-			}
-		}
-	case tetris.BinomialArrivals:
-		t.binom = make([]*dist.Binomial, s)
-		for i := range t.binom {
-			b, err := dist.NewBinomial(eng.shardSize(i), lambda)
-			if err != nil {
-				return nil, err
-			}
-			t.binom[i] = b
-		}
-	case tetris.PoissonArrivals:
-		t.pois = make([]*dist.Poisson, s)
-		for i := range t.pois {
-			p, err := dist.NewPoisson(lambda * float64(eng.shardSize(i)))
-			if err != nil {
-				return nil, err
-			}
-			t.pois[i] = p
-		}
-	default:
-		return nil, fmt.Errorf("shard: unknown arrival law %v", opts.Law)
+	if t.arrive, err = rule.Arrivals(n, s); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -244,23 +210,14 @@ func (t *Tetris) markEmptied(u int) {
 	}
 }
 
-// arrivals draws shard s's batch contribution for the round.
-func (t *Tetris) arrivals(s, _ int, src *rng.Source) int {
-	switch t.law {
-	case tetris.BinomialArrivals:
-		return t.binom[s].Sample(src)
-	case tetris.PoissonArrivals:
-		return t.pois[s].Sample(src)
-	default:
-		return t.quota[s]
-	}
-}
+// Rule returns the canonical arrival rule the process executes.
+func (t *Tetris) Rule() ArrivalRule { return t.rule }
 
 // Step advances one round: departures, then the decomposed batch of
 // uniform arrivals.
 func (t *Tetris) Step() {
 	t.roundNow = t.eng.Round()
-	t.eng.Step(t.arrivals)
+	t.eng.Step(t.arrive)
 	t.balls += int64(t.eng.Staged()) - int64(t.eng.Released())
 }
 

@@ -1,74 +1,45 @@
 package proc
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
-	"io"
 	"os"
 	"os/exec"
 	"time"
 
 	"repro/internal/checkpoint"
-	"repro/internal/engine"
-	"repro/internal/obs"
 	"repro/internal/shard"
+	"repro/internal/shard/transport/wire"
 )
-
-// workerProc is one spawned worker process and its framed pipe endpoint.
-type workerProc struct {
-	cmd    *exec.Cmd
-	stdin  io.WriteCloser
-	c      *conn
-	lo, hi int // owned global shard range
-}
 
 // Engine is the coordinator side of the multi-process transport: it
 // implements the same stepping surface as shard.Process (engine.Stepper
-// plus Snapshot, so checkpoint.Run drives it unchanged) by relaying the
-// round protocol between P worker processes. Create with New (from any
-// checkpoint snapshot) or NewProcess (fresh run); Close terminates the
-// workers. Not safe for concurrent use.
-//
-// Only the repeated balls-into-bins arrival law (every released ball is
-// re-thrown) is supported across processes; the in-process transports
-// carry the other laws.
+// plus Snapshot, so checkpoint.Run drives it unchanged) by driving the
+// wire round protocol over P worker processes' pipes. Create with New
+// (from any checkpoint snapshot) or NewProcess (fresh run); Close
+// terminates the workers. Not safe for concurrent use.
 //
 // A transport failure mid-run — a worker crash, a broken pipe — is
 // unrecoverable and surfaces as a panic from Step, because engine.Stepper
 // leaves no error channel; the coordinator's state is authoritative only
 // at round boundaries and a half-exchanged round cannot be rolled back.
+// The error names the failing worker and carries its exit status when the
+// process has died, and the surviving workers are cancelled cleanly
+// before it surfaces (see wire.Coordinator).
 type Engine struct {
-	n, s  int
-	procs []*workerProc
-	balls int64
-
-	round            int64
-	maxLoad          int32
-	empty            int
-	released, staged int
-	loadBytes        int64
-
-	// rbuf[src][dst] are the retained decode buffers of the relay; rows
-	// allocate lazily, so memory follows the (src, dst) pairs that
-	// actually cross processes.
-	rbuf   [][][]int32
-	closed bool
+	*wire.Coordinator
 }
 
 // New spawns opts.Procs worker processes and migrates the snapshot's state
 // into them: each worker receives the checkpoint v2 header plus one frame
 // per shard it owns — only its own slice of the run — and restores its
-// contiguous range from them. The coordinator never serializes the whole
-// run into one buffer; per-worker join payloads are encoded and sent
-// worker by worker. The snapshot's shard count is authoritative;
-// opts.Procs is clamped to it.
+// contiguous range from them (see the wire package doc). The snapshot's
+// shard count is authoritative; opts.Procs is clamped to it.
 func New(snap *checkpoint.Snapshot, opts Options) (*Engine, error) {
 	if snap == nil || snap.Engine == nil {
 		return nil, errors.New("proc: New with nil snapshot")
 	}
-	es := snap.Engine
-	s := len(es.Shards)
+	s := len(snap.Engine.Shards)
 	p := opts.Procs
 	if p < 1 {
 		p = 1
@@ -76,44 +47,6 @@ func New(snap *checkpoint.Snapshot, opts Options) (*Engine, error) {
 	if p > s {
 		p = s
 	}
-	switch opts.Width {
-	case engine.WidthAuto, engine.Width8, engine.Width16, engine.Width32:
-	default:
-		return nil, fmt.Errorf("proc: invalid load width %d", opts.Width)
-	}
-	var header bytes.Buffer
-	err := checkpoint.WriteHeader(&header, checkpoint.Header{
-		Seed:   snap.Seed,
-		N:      es.N,
-		Shards: s,
-		Round:  es.Round,
-	})
-	if err != nil {
-		return nil, err
-	}
-	e := &Engine{
-		n:     es.N,
-		s:     s,
-		round: es.Round,
-		rbuf:  make([][][]int32, s),
-	}
-	// The pre-spawn fold of the snapshot's statistics: the coordinator
-	// never holds live shard state, so the global stats start from the
-	// snapshot and are re-folded from worker messages every round.
-	empty := 0
-	for i := range es.Shards {
-		for _, l := range es.Shards[i].Loads {
-			if l > e.maxLoad {
-				e.maxLoad = l
-			}
-			if l == 0 {
-				empty++
-			}
-			e.balls += int64(l)
-		}
-	}
-	e.empty = empty
-
 	argv := opts.Command
 	if len(argv) == 0 {
 		exe, err := os.Executable()
@@ -122,59 +55,33 @@ func New(snap *checkpoint.Snapshot, opts Options) (*Engine, error) {
 		}
 		argv = []string{exe}
 	}
+	links := make([]*wire.Link, 0, p)
 	for i := 0; i < p; i++ {
-		w, err := spawnWorker(argv, s, p, i)
+		l, err := spawnWorker(argv)
 		if err != nil {
-			e.Close()
-			return nil, err
-		}
-		e.procs = append(e.procs, w)
-	}
-	var frame []byte
-	for _, w := range e.procs {
-		c := w.c
-		c.wByte(mInit)
-		c.wU32(protoVersion)
-		c.wU32(uint32(w.lo))
-		c.wU32(uint32(w.hi))
-		c.wU32(uint32(opts.Workers))
-		c.wByte(uint8(opts.Width))
-		c.wBytes(header.Bytes())
-		for i := w.lo; i < w.hi && c.err == nil; i++ {
-			// Join frames are never compressed: they cross a local pipe once.
-			frame, err = checkpoint.AppendShardFrame(frame[:0], &es.Shards[i], i, es.N, s, false)
-			if err != nil {
-				e.Close()
-				return nil, err
+			for _, prev := range links {
+				prev.CloseIO()
+				prev.Finalize()
 			}
-			c.wBlob(frame)
-		}
-		c.flush()
-		if c.err != nil {
-			err := fmt.Errorf("proc: joining worker [%d,%d): %w", w.lo, w.hi, c.err)
-			e.Close()
 			return nil, err
 		}
+		links = append(links, l)
 	}
-	for _, w := range e.procs {
-		c := w.c
-		if err := c.expect(mInitOK); err != nil {
-			e.Close()
-			return nil, fmt.Errorf("proc: joining worker [%d,%d): %w", w.lo, w.hi, err)
-		}
-		e.loadBytes += int64(c.rU64())
-		if c.err != nil {
-			err := c.err
-			e.Close()
-			return nil, fmt.Errorf("proc: joining worker [%d,%d): %w", w.lo, w.hi, err)
-		}
+	co, err := wire.NewCoordinator(snap, links, wire.Config{
+		Workers:   opts.Workers,
+		Width:     opts.Width,
+		Rule:      opts.Rule,
+		Transport: "proc",
+	})
+	if err != nil {
+		return nil, fmt.Errorf("proc: %w", err)
 	}
-	return e, nil
+	return &Engine{co}, nil
 }
 
-// NewProcess builds a fresh multi-process rbb run over a copy of loads —
-// the same pure function of (seed, len(loads), shards) as
-// shard.NewProcess, executed across opts.Procs processes.
+// NewProcess builds a fresh multi-process run over a copy of loads — the
+// same pure function of (seed, len(loads), shards, rule) as the in-process
+// engines, executed across opts.Procs processes.
 func NewProcess(loads []int32, seed uint64, opts Options) (*Engine, error) {
 	es, err := shard.InitialSnapshot(loads, seed, opts.Shards, opts.Width)
 	if err != nil {
@@ -183,8 +90,11 @@ func NewProcess(loads []int32, seed uint64, opts Options) (*Engine, error) {
 	return New(&checkpoint.Snapshot{Seed: seed, Engine: es}, opts)
 }
 
-// spawnWorker launches worker p of procs and assigns its shard range.
-func spawnWorker(argv []string, shards, procs, p int) (*workerProc, error) {
+// spawnWorker launches one worker process and wraps its pipes in a wire
+// link. A watcher goroutine owns cmd.Wait, so a pipe failure can be
+// decorated with the worker's exit status (Exited) and Close can reap the
+// process with a bounded wait (Finalize).
+func spawnWorker(argv []string) (*wire.Link, error) {
 	cmd := exec.Command(argv[0], argv[1:]...)
 	cmd.Env = append(os.Environ(), workerEnvVar+"=1")
 	cmd.Stderr = os.Stderr
@@ -199,313 +109,41 @@ func spawnWorker(argv []string, shards, procs, p int) (*workerProc, error) {
 	if err := cmd.Start(); err != nil {
 		return nil, fmt.Errorf("proc: spawning worker: %w", err)
 	}
-	return &workerProc{
-		cmd:   cmd,
-		stdin: stdin,
-		c:     newConn(stdout, stdin),
-		lo:    shard.PartitionStart(shards, procs, p),
-		hi:    shard.PartitionStart(shards, procs, p+1),
+	done := make(chan struct{})
+	var waitErr error
+	go func() {
+		waitErr = cmd.Wait()
+		close(done)
+	}()
+	return &wire.Link{
+		R:    stdout,
+		W:    stdin,
+		Name: fmt.Sprintf("worker pid %d", cmd.Process.Pid),
+		Tx:   mProcTx,
+		Rx:   mProcRx,
+		Exited: func() error {
+			// A dying process races its own pipe EOF; give Wait a moment
+			// so the exit status makes it into the error.
+			select {
+			case <-done:
+			case <-time.After(500 * time.Millisecond):
+				return nil
+			}
+			if waitErr != nil {
+				return fmt.Errorf("worker exited: %w", waitErr)
+			}
+			return errors.New("worker exited")
+		},
+		CloseIO: func() { stdin.Close() },
+		Finalize: func() error {
+			select {
+			case <-done:
+				return waitErr
+			case <-time.After(5 * time.Second):
+				cmd.Process.Kill()
+				<-done
+				return errors.New("did not exit; killed")
+			}
+		},
 	}, nil
 }
-
-// Step advances one synchronous round across the worker processes. It
-// panics on a transport failure (see the type comment).
-func (e *Engine) Step() {
-	if err := e.step(); err != nil {
-		panic(fmt.Sprintf("proc: round %d: %v", e.round, err))
-	}
-}
-
-func (e *Engine) step() error {
-	if e.closed {
-		return errors.New("engine is closed")
-	}
-	// Release on every worker.
-	for _, w := range e.procs {
-		w.c.wByte(mStep)
-		w.c.flush()
-		if w.c.err != nil {
-			return w.c.err
-		}
-	}
-	// Collect the exchanges: released/staged counts plus every buffer with
-	// a remote destination. The relay retains the decode buffers per
-	// (src, dst) pair, so steady-state rounds allocate nothing.
-	sp := obs.StartSpan("exchange", obs.LanePhases)
-	tm := obs.StartTimer()
-	count := obs.Enabled()
-	balls, msgs := 0, 0
-	released, staged := 0, 0
-	for _, w := range e.procs {
-		c := w.c
-		if err := c.expect(mExchange); err != nil {
-			return err
-		}
-		released += int(c.rU64())
-		staged += int(c.rU64())
-		nbuf := int(c.rU32())
-		want := (w.hi - w.lo) * (e.s - (w.hi - w.lo))
-		if c.err == nil && nbuf != want {
-			return fmt.Errorf("worker [%d,%d) sent %d buffers, want %d", w.lo, w.hi, nbuf, want)
-		}
-		for i := 0; i < nbuf; i++ {
-			src, dst := int(c.rU32()), int(c.rU32())
-			if c.err != nil {
-				return c.err
-			}
-			if src < w.lo || src >= w.hi || dst < 0 || dst >= e.s || (dst >= w.lo && dst < w.hi) {
-				return fmt.Errorf("worker [%d,%d) sent buffer %d→%d", w.lo, w.hi, src, dst)
-			}
-			if e.rbuf[src] == nil {
-				e.rbuf[src] = make([][]int32, e.s)
-			}
-			e.rbuf[src][dst] = c.rI32Buf(e.rbuf[src][dst])
-			if count && len(e.rbuf[src][dst]) > 0 {
-				balls += len(e.rbuf[src][dst])
-				msgs++
-			}
-		}
-		if c.err != nil {
-			return c.err
-		}
-	}
-	// Relay each worker's inbound buffers and run the commit phase.
-	for _, w := range e.procs {
-		c := w.c
-		c.wByte(mCommit)
-		c.wU32(uint32((e.s - (w.hi - w.lo)) * (w.hi - w.lo)))
-		for src := 0; src < e.s; src++ {
-			if src >= w.lo && src < w.hi {
-				continue
-			}
-			for dst := w.lo; dst < w.hi; dst++ {
-				c.wU32(uint32(src))
-				c.wU32(uint32(dst))
-				var buf []int32
-				if e.rbuf[src] != nil {
-					buf = e.rbuf[src][dst]
-				}
-				c.wI32Buf(buf)
-			}
-		}
-		c.flush()
-		if c.err != nil {
-			return c.err
-		}
-	}
-	tm.ObserveSeconds(mPhaseExchange)
-	sp.End()
-	if count {
-		mProcExchangeBalls.Add(uint64(balls))
-		mProcExchangeMsgs.Add(uint64(msgs))
-	}
-	// Fold the stats — the round's closing barrier.
-	var max int32
-	empty := 0
-	var loadBytes int64
-	for _, w := range e.procs {
-		c := w.c
-		if err := c.expect(mStats); err != nil {
-			return err
-		}
-		if m := int32(c.rU32()); m > max {
-			max = m
-		}
-		empty += int(c.rU64())
-		loadBytes += int64(c.rU64())
-		if c.err != nil {
-			return c.err
-		}
-	}
-	e.maxLoad, e.empty, e.loadBytes = max, empty, loadBytes
-	e.released, e.staged = released, staged
-	e.round++
-	mProcRounds.Inc()
-	return nil
-}
-
-// frameBound is the sanity cap on one relayed shard frame: the widest raw
-// payload (int32 loads) plus flate slack and framing.
-func frameBound(n, s, i int) uint64 {
-	size := uint64(shard.PartitionSize(n, s, i))
-	raw := 48 + size*4 + (size+63)/64*8
-	return raw + raw/8 + 128
-}
-
-// StreamCheckpoint serializes the run straight to dst in checkpoint format
-// v2: every worker encodes its own shards into self-checksummed frames
-// concurrently, and the coordinator relays the frame bytes in shard order
-// without decoding — or ever materializing — them. The result is what
-// checkpoint.SaveOptions would produce from Snapshot, minus the
-// coordinator-side gather and whole-blob buffer. checkpoint.Run prefers
-// this path (see checkpoint.StreamProcess).
-func (e *Engine) StreamCheckpoint(dst io.Writer, seed uint64, obs *shard.PipelineSnapshot, opts checkpoint.Options) error {
-	if e.closed {
-		return errors.New("proc: StreamCheckpoint on closed engine")
-	}
-	err := checkpoint.WriteHeader(dst, checkpoint.Header{
-		Seed:     seed,
-		N:        e.n,
-		Shards:   e.s,
-		Round:    e.round,
-		Observer: obs != nil,
-		Compress: opts.Compress,
-	})
-	if err != nil {
-		return err
-	}
-	// Request every worker up front so they all encode in parallel; drain
-	// in worker (= shard) order.
-	for _, w := range e.procs {
-		w.c.wByte(mSnapshotReq)
-		if opts.Compress {
-			w.c.wByte(1)
-		} else {
-			w.c.wByte(0)
-		}
-		w.c.flush()
-		if w.c.err != nil {
-			return w.c.err
-		}
-	}
-	for _, w := range e.procs {
-		c := w.c
-		if err := c.expect(mSnapshot); err != nil {
-			return err
-		}
-		for i := w.lo; i < w.hi; i++ {
-			flen := c.rU64()
-			if c.err != nil {
-				return c.err
-			}
-			if flen > frameBound(e.n, e.s, i) {
-				return fmt.Errorf("proc: shard %d frame of %d bytes exceeds bound %d", i, flen, frameBound(e.n, e.s, i))
-			}
-			if _, err := io.CopyN(dst, c.br, int64(flen)); err != nil {
-				return fmt.Errorf("proc: relaying shard %d frame: %w", i, err)
-			}
-		}
-	}
-	if obs != nil {
-		frame, err := checkpoint.AppendObserverFrame(nil, obs, opts.Compress)
-		if err != nil {
-			return err
-		}
-		if _, err := dst.Write(frame); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// Snapshot gathers the full deterministic engine state from the workers —
-// the same whole-run cut shard.Engine.Snapshot produces, so checkpoints
-// written under this transport are byte-identical to in-process ones. It
-// runs the streamed frame protocol into a buffer and decodes it; callers
-// that only want the serialized form should use StreamCheckpoint and skip
-// the decode (checkpoint.Run does).
-func (e *Engine) Snapshot() (*shard.EngineSnapshot, error) {
-	var buf bytes.Buffer
-	// The header seed is provenance only and not part of the engine state;
-	// zero is fine for a decode-and-discard pass.
-	if err := e.StreamCheckpoint(&buf, 0, nil, checkpoint.Options{}); err != nil {
-		return nil, err
-	}
-	snap, err := checkpoint.Load(&buf)
-	if err != nil {
-		return nil, err
-	}
-	return snap.Engine, nil
-}
-
-// Close shuts the workers down: a quit frame, then pipe close, then a
-// bounded wait (kill on timeout). Idempotent.
-func (e *Engine) Close() error {
-	if e.closed {
-		return nil
-	}
-	e.closed = true
-	var firstErr error
-	for _, w := range e.procs {
-		w.c.wByte(mQuit)
-		w.c.flush()
-		w.stdin.Close()
-		done := make(chan error, 1)
-		go func() { done <- w.cmd.Wait() }()
-		select {
-		case err := <-done:
-			if err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("proc: worker [%d,%d): %w", w.lo, w.hi, err)
-			}
-		case <-time.After(5 * time.Second):
-			w.cmd.Process.Kill()
-			<-done
-			if firstErr == nil {
-				firstErr = fmt.Errorf("proc: worker [%d,%d) did not exit; killed", w.lo, w.hi)
-			}
-		}
-	}
-	return firstErr
-}
-
-// N returns the number of bins.
-func (e *Engine) N() int { return e.n }
-
-// Shards returns the shard count S (the random law's key).
-func (e *Engine) Shards() int { return e.s }
-
-// Procs returns the number of worker processes.
-func (e *Engine) Procs() int { return len(e.procs) }
-
-// Round returns the number of completed rounds.
-func (e *Engine) Round() int64 { return e.round }
-
-// MaxLoad returns the current global maximum bin load.
-func (e *Engine) MaxLoad() int32 { return e.maxLoad }
-
-// EmptyBins returns the current global number of empty bins.
-func (e *Engine) EmptyBins() int { return e.empty }
-
-// NonEmptyBins returns |W(t)|, the current number of non-empty bins.
-func (e *Engine) NonEmptyBins() int { return e.n - e.empty }
-
-// Released returns the number of balls released in the last round.
-func (e *Engine) Released() int { return e.released }
-
-// Staged returns the number of balls thrown in the last round.
-func (e *Engine) Staged() int { return e.staged }
-
-// Balls returns the number of balls m (rbb conserves them).
-func (e *Engine) Balls() int64 { return e.balls }
-
-// LoadBytes returns the resident bytes of the workers' load vectors and
-// staging areas, summed from their stats messages (join ack, then every
-// round). Deterministic for a given trajectory, width floor and round.
-func (e *Engine) LoadBytes() int64 { return e.loadBytes }
-
-// Load returns the load of bin u. It gathers a full snapshot per call —
-// O(n) plus a pipe round-trip — and exists for engine.Stepper conformance;
-// per-round statistics come from the folded MaxLoad/EmptyBins.
-func (e *Engine) Load(u int) int32 { return e.LoadsCopy()[u] }
-
-// LoadsCopy returns a fresh copy of the full load vector (a snapshot
-// gather; see Load).
-func (e *Engine) LoadsCopy() []int32 {
-	snap, err := e.Snapshot()
-	if err != nil {
-		panic(fmt.Sprintf("proc: LoadsCopy: %v", err))
-	}
-	out := make([]int32, 0, e.n)
-	for i := range snap.Shards {
-		out = append(out, snap.Shards[i].Loads...)
-	}
-	return out
-}
-
-// Compile-time checks: the coordinator is a checkpoint-able stepper that
-// can also serialize its own checkpoint stream.
-var (
-	_ engine.Stepper           = (*Engine)(nil)
-	_ checkpoint.Process       = (*Engine)(nil)
-	_ checkpoint.StreamProcess = (*Engine)(nil)
-)

@@ -1,58 +1,46 @@
 // Package proc is the multi-process transport of the sharded round
-// protocol: a coordinator Engine in the submitting process drives P worker
-// processes, each holding a contiguous range of the run's shards in a
-// shard.Group stepped by its own in-process worker pool. Exchange buffers
-// and barrier messages travel over the workers' stdin/stdout pipes in a
-// little-endian binary framing; the coordinator relays cross-process
-// buffers (star topology — every pipe pair connects a worker to the
-// coordinator only).
-//
-// # Worker join payload
-//
-// A worker joins by receiving the checkpoint-format-v2 header of the run
-// plus one self-checksummed frame per shard it owns — only its own state,
-// not the whole run — and restoring its shard range with the full
-// structural validation of checkpoint.DecodeShardFrame and
-// shard.NewGroupFromSnapshot. Fresh runs frame shard.InitialSnapshot;
-// resumed runs frame the loaded checkpoint (either format version). State
-// migration between process topologies is therefore free: any checkpoint
-// can be reopened under any -procs value (the shard count, not the process
-// count, is the random law's key), and the coordinator never buffers a
-// serialized copy of the whole run.
-//
-// # Round protocol
-//
-//	coordinator → workers   step
-//	workers     → coordinator   exchange: released/staged counts + every
-//	                            (src, dst) buffer with a remote destination
-//	coordinator → workers   commit: the inbound buffers of each worker's
-//	                            shards, relayed from their source workers
-//	workers     → coordinator   stats: per-range max load + empty bins
-//
-// The pipe round-trips are the collective barriers: the coordinator sends
-// no commit before reading every exchange, and completes no Step before
-// reading every stats fold, so the two-phase structure of the in-process
-// engine is preserved exactly. The trajectory is the same pure function of
-// (seed, n, S) as in-process execution — pinned byte-for-byte by the
-// transport-invariance matrix test and the CI proc-equivalence gate.
-//
-// # Worker processes
+// protocol over pipes: a coordinator Engine in the submitting process
+// spawns P worker processes — re-executions of the current binary — and
+// drives the transport-agnostic wire protocol (package
+// internal/shard/transport/wire) over their stdin/stdout pipe pairs in a
+// star topology. The join payload, round protocol, checkpoint relay and
+// failure semantics live in the wire package; this package only owns the
+// spawn step and the process lifecycle.
 //
 // Workers are re-executions of the current binary: the coordinator spawns
 // Options.Command (default os.Executable()) with RBB_PROC_WORKER=1 in the
 // environment, and the child's main must call MaybeWorker before doing
-// anything else. cmd/rbb-sim does; so does this package's test binary.
+// anything else. cmd/rbb-sim and cmd/rbb-serve do; so does this package's
+// test binary.
+//
+// Pipes cannot mesh (workers of one coordinator share no channel of their
+// own), so the proc transport always relays exchanges through the
+// coordinator; the tcp transport adds the worker↔worker mesh.
 package proc
 
 import (
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/shard"
+	"repro/internal/shard/transport/wire"
 )
 
 // workerEnvVar marks a spawned process as a proc-transport worker.
 const workerEnvVar = "RBB_PROC_WORKER"
+
+// Telemetry of the pipe transport, recorded on the coordinator side
+// (workers count into their own process registries, which nothing
+// scrapes). Observational only; see the obs package doc.
+var (
+	mProcTx = obs.Default.Counter("rbb_proc_tx_bytes_total",
+		"Bytes written to worker-process pipes.")
+	mProcRx = obs.Default.Counter("rbb_proc_rx_bytes_total",
+		"Bytes read from worker-process pipes.")
+)
 
 // IsWorker reports whether this process was spawned as a proc-transport
 // worker.
@@ -71,6 +59,14 @@ func MaybeWorker() {
 		os.Exit(1)
 	}
 	os.Exit(0)
+}
+
+// WorkerMain runs the worker side of the protocol on the given pipe
+// endpoints until a quit frame or EOF (the coordinator exiting) and
+// returns the first protocol or engine error. MaybeWorker is the usual
+// entry point; tests call WorkerMain directly from their re-exec hook.
+func WorkerMain(r io.Reader, w io.Writer) error {
+	return wire.ServeWorker(r, w, wire.WorkerConfig{})
 }
 
 // Options configures a coordinator Engine.
@@ -94,4 +90,9 @@ type Options struct {
 	// at the narrowest width its loads fit, widening on demand). The
 	// trajectory is independent of it.
 	Width engine.Width
+	// Rule is the arrival rule the workers execute each round (zero
+	// value: relaunch, the repeated balls-into-bins law). It is encoded
+	// into the join payload, so every process kind crosses process
+	// boundaries.
+	Rule shard.ArrivalRule
 }

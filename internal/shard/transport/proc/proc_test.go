@@ -3,6 +3,7 @@ package proc_test
 import (
 	"bytes"
 	"os"
+	"strings"
 	"testing"
 
 	"repro/internal/checkpoint"
@@ -201,6 +202,20 @@ func TestProcMigration(t *testing.T) {
 }
 
 // TestProcValidation covers the coordinator's argument checking.
+// TestProcWorkerExitStatus: a worker that dies before completing the join
+// handshake fails construction with its exit status in the error.
+func TestProcWorkerExitStatus(t *testing.T) {
+	_, err := proc.NewProcess(make([]int32, 8), 1, proc.Options{
+		Shards: 2, Procs: 2, Command: []string{"/bin/false"},
+	})
+	if err == nil {
+		t.Fatal("dead-on-arrival worker command succeeded")
+	}
+	if !strings.Contains(err.Error(), "exit status 1") {
+		t.Fatalf("error %q does not carry the worker's exit status", err)
+	}
+}
+
 func TestProcValidation(t *testing.T) {
 	if _, err := proc.New(nil, proc.Options{Procs: 2}); err == nil {
 		t.Error("nil snapshot accepted")

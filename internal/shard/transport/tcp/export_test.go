@@ -1,0 +1,9 @@
+package tcp
+
+// KillWorker force-kills the i-th self-spawned worker child, simulating
+// a mid-run worker death for the fail-fast tests. Test binaries only.
+func (e *Engine) KillWorker(i int) {
+	c := e.children[i]
+	c.cmd.Process.Kill()
+	<-c.done
+}

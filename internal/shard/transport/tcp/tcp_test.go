@@ -1,0 +1,419 @@
+package tcp_test
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/shard"
+	"repro/internal/shard/transport/proc"
+	"repro/internal/shard/transport/tcp"
+	"repro/internal/tetris"
+)
+
+// The coordinator re-executes this test binary as its workers: the proc
+// hook serves pipe workers, the tcp hook dials back self-spawned tcp
+// workers. In a normal test process both return immediately.
+func TestMain(m *testing.M) {
+	proc.MaybeWorker()
+	tcp.MaybeWorker()
+	os.Exit(m.Run())
+}
+
+// ckptBytes serializes the current engine state of p in the checkpoint
+// format, the strongest equality we can assert across transports.
+func ckptBytes(t *testing.T, seed uint64, p checkpoint.Process) []byte {
+	t.Helper()
+	snap, err := p.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	var b bytes.Buffer
+	if err := checkpoint.Save(&b, &checkpoint.Snapshot{Seed: seed, Engine: snap}); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	return b.Bytes()
+}
+
+// TestTransportInvarianceMatrixTCP extends the transport-invariance
+// matrix across the TCP transport: the in-process pool, the pipe
+// transport, the TCP star and the TCP worker mesh must all produce
+// byte-identical checkpoints for the same (seed, n, S).
+func TestTransportInvarianceMatrixTCP(t *testing.T) {
+	n := 1 << 20
+	if testing.Short() {
+		n = 1 << 16
+	}
+	const (
+		seed   = 3
+		s      = 8
+		rounds = 50
+	)
+	loads := make([]int32, n)
+	for i := range loads {
+		loads[i] = 1
+	}
+
+	run := func(t *testing.T, build func() (checkpoint.Process, func() error, error)) []byte {
+		t.Helper()
+		p, close, err := build()
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		defer close()
+		for r := 0; r < rounds; r++ {
+			p.(interface{ Step() }).Step()
+		}
+		return ckptBytes(t, seed, p)
+	}
+
+	want := run(t, func() (checkpoint.Process, func() error, error) {
+		p, err := shard.NewProcess(loads, seed, shard.Options{Shards: s, Workers: 4})
+		if err != nil {
+			return nil, nil, err
+		}
+		return p, p.Close, nil
+	})
+
+	variants := []struct {
+		name  string
+		build func() (checkpoint.Process, func() error, error)
+	}{
+		{"proc-P2", func() (checkpoint.Process, func() error, error) {
+			e, err := proc.NewProcess(loads, seed, proc.Options{Shards: s, Procs: 2, Workers: 2})
+			if err != nil {
+				return nil, nil, err
+			}
+			return e, e.Close, nil
+		}},
+		{"tcp-P2", func() (checkpoint.Process, func() error, error) {
+			e, err := tcp.NewProcess(loads, seed, tcp.Options{Shards: s, Procs: 2, Workers: 2})
+			if err != nil {
+				return nil, nil, err
+			}
+			return e, e.Close, nil
+		}},
+		{"tcp-mesh-P2", func() (checkpoint.Process, func() error, error) {
+			e, err := tcp.NewProcess(loads, seed, tcp.Options{Shards: s, Procs: 2, Workers: 2, Mesh: true})
+			if err != nil {
+				return nil, nil, err
+			}
+			return e, e.Close, nil
+		}},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			if got := run(t, v.build); !bytes.Equal(got, want) {
+				t.Fatalf("%s checkpoint differs from pool after %d rounds", v.name, rounds)
+			}
+		})
+	}
+}
+
+// TestTCPMigrationFromPipes pins the cross-transport resume path: a run
+// born on the pipe transport, checkpointed mid-flight and reopened on
+// TCP mesh workers with a different P must land byte-identical to an
+// uninterrupted in-process run.
+func TestTCPMigrationFromPipes(t *testing.T) {
+	const (
+		n     = 1 << 14
+		seed  = 29
+		s     = 6
+		half  = 40
+		total = 100
+	)
+	loads := make([]int32, n)
+
+	full, err := shard.NewProcess(loads, seed, shard.Options{Shards: s})
+	if err != nil {
+		t.Fatalf("NewProcess: %v", err)
+	}
+	defer full.Close()
+	full.Run(total)
+	want := ckptBytes(t, seed, full)
+
+	first, err := proc.NewProcess(loads, seed, proc.Options{Shards: s, Procs: 2})
+	if err != nil {
+		t.Fatalf("proc.NewProcess: %v", err)
+	}
+	for r := 0; r < half; r++ {
+		first.Step()
+	}
+	mid := ckptBytes(t, seed, first)
+	if err := first.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	snap, err := checkpoint.Load(bytes.NewReader(mid))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	e, err := tcp.New(snap, tcp.Options{Procs: 3, Mesh: true})
+	if err != nil {
+		t.Fatalf("tcp.New: %v", err)
+	}
+	defer e.Close()
+	if got := e.Round(); got != half {
+		t.Fatalf("resumed at round %d, want %d", got, half)
+	}
+	for r := half; r < total; r++ {
+		e.Step()
+	}
+	if got := ckptBytes(t, seed, e); !bytes.Equal(got, want) {
+		t.Fatalf("pipes-born run migrated to tcp mesh diverged from uninterrupted run")
+	}
+}
+
+// TestTCPHostsAndProbe drives the host-daemon mode in-process: two
+// Serve loops on loopback listeners play the role of `rbb-sim -worker
+// -listen` daemons, the coordinator dials them via Options.Hosts, and
+// the mesh run must match the in-process pool. Probe must accept the
+// live daemons (and not disturb them — the run follows the probes on
+// the same listeners) and reject a dead port.
+func TestTCPHostsAndProbe(t *testing.T) {
+	const (
+		n      = 1 << 14
+		seed   = 7
+		s      = 4
+		rounds = 60
+	)
+	loads := make([]int32, n)
+
+	hosts := make([]string, 2)
+	for i := range hosts {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("Listen: %v", err)
+		}
+		defer ln.Close()
+		hosts[i] = ln.Addr().String()
+		go tcp.Serve(ln, io.Discard)
+	}
+
+	for _, h := range hosts {
+		if err := tcp.Probe(h, time.Second); err != nil {
+			t.Fatalf("Probe(%s): %v", h, err)
+		}
+	}
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+	if err := tcp.Probe(deadAddr, 500*time.Millisecond); err == nil {
+		t.Fatalf("Probe(%s) of a closed port succeeded", deadAddr)
+	}
+
+	ref, err := shard.NewProcess(loads, seed, shard.Options{Shards: s})
+	if err != nil {
+		t.Fatalf("NewProcess: %v", err)
+	}
+	defer ref.Close()
+	ref.Run(rounds)
+	want := ckptBytes(t, seed, ref)
+
+	e, err := tcp.NewProcess(loads, seed, tcp.Options{Shards: s, Hosts: hosts, Mesh: true})
+	if err != nil {
+		t.Fatalf("tcp.NewProcess(hosts): %v", err)
+	}
+	defer e.Close()
+	if got := e.Procs(); got != len(hosts) {
+		t.Fatalf("Procs() = %d, want %d", got, len(hosts))
+	}
+	for r := 0; r < rounds; r++ {
+		e.Step()
+	}
+	if got := ckptBytes(t, seed, e); !bytes.Equal(got, want) {
+		t.Fatalf("hosts-mode mesh checkpoint differs from pool")
+	}
+}
+
+// TestArrivalRulesOverTCP pins the serialized arrival rules: each rule
+// kind crosses the wire and produces the same trajectory on TCP mesh
+// workers as the pipe transport (byte-identical checkpoints) and as the
+// in-process Tetris engine (identical loads and ball counts).
+func TestArrivalRulesOverTCP(t *testing.T) {
+	const (
+		n      = 1 << 13
+		seed   = 17
+		s      = 4
+		rounds = 80
+	)
+	laws := []struct {
+		name string
+		law  tetris.ArrivalLaw
+	}{
+		{"quota", tetris.Deterministic},
+		{"binomial", tetris.BinomialArrivals},
+		{"poisson", tetris.PoissonArrivals},
+	}
+	for _, l := range laws {
+		t.Run(l.name, func(t *testing.T) {
+			loads := make([]int32, n)
+			ref, err := shard.NewTetris(loads, seed, shard.TetrisOptions{Options: shard.Options{Shards: s}, Law: l.law})
+			if err != nil {
+				t.Fatalf("NewTetris: %v", err)
+			}
+			defer ref.Close()
+			ref.Run(rounds)
+			rule := ref.Rule()
+
+			pipe, err := proc.NewProcess(loads, seed, proc.Options{Shards: s, Procs: 2, Rule: rule})
+			if err != nil {
+				t.Fatalf("proc.NewProcess: %v", err)
+			}
+			defer pipe.Close()
+			mesh, err := tcp.NewProcess(loads, seed, tcp.Options{Shards: s, Procs: 2, Rule: rule, Mesh: true})
+			if err != nil {
+				t.Fatalf("tcp.NewProcess: %v", err)
+			}
+			defer mesh.Close()
+			for r := 0; r < rounds; r++ {
+				pipe.Step()
+				mesh.Step()
+			}
+
+			if got, want := ckptBytes(t, seed, mesh), ckptBytes(t, seed, pipe); !bytes.Equal(got, want) {
+				t.Fatalf("%s rule: tcp-mesh checkpoint differs from proc", l.name)
+			}
+			if got, want := mesh.Balls(), ref.Balls(); got != want {
+				t.Fatalf("%s rule: Balls() = %d over tcp, %d in process", l.name, got, want)
+			}
+			got, want := mesh.LoadsCopy(), ref.LoadsCopy()
+			if !bytes.Equal(int32Bytes(got), int32Bytes(want)) {
+				t.Fatalf("%s rule: loads diverged between tcp mesh and in-process tetris", l.name)
+			}
+		})
+	}
+}
+
+func int32Bytes(v []int32) []byte {
+	b := make([]byte, 0, 4*len(v))
+	for _, x := range v {
+		b = append(b, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+	}
+	return b
+}
+
+// TestTCPWorkerDeathFailFast kills one worker mid-run and requires the
+// coordinator to fail fast — a panic naming the dead worker (with its
+// exit status, since it is self-spawned) rather than a hang on the dead
+// socket — and to shut the surviving worker down cleanly.
+func TestTCPWorkerDeathFailFast(t *testing.T) {
+	const (
+		n    = 1 << 12
+		seed = 5
+		s    = 4
+	)
+	loads := make([]int32, n)
+	e, err := tcp.NewProcess(loads, seed, tcp.Options{Shards: s, Procs: 2})
+	if err != nil {
+		t.Fatalf("tcp.NewProcess: %v", err)
+	}
+	defer e.Close()
+	e.Step()
+	e.KillWorker(0)
+
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		for i := 0; i < 1_000_000; i++ {
+			e.Step()
+		}
+		done <- nil
+	}()
+	select {
+	case r := <-done:
+		if r == nil {
+			t.Fatalf("Step kept succeeding after worker kill")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			if err, isErr := r.(error); isErr {
+				msg = err.Error()
+			} else {
+				t.Fatalf("panic value %T: %v", r, r)
+			}
+		}
+		if !strings.Contains(msg, "round") || !strings.Contains(msg, "exited") {
+			t.Fatalf("panic %q does not name the round and the dead worker", msg)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("coordinator hung on dead worker instead of failing fast")
+	}
+}
+
+// TestTCPValidation exercises the construction guard rails.
+func TestTCPValidation(t *testing.T) {
+	if _, err := tcp.New(nil, tcp.Options{}); err == nil {
+		t.Fatalf("New(nil) succeeded")
+	}
+	if _, err := tcp.NewProcess(make([]int32, 8), 1, tcp.Options{Shards: 2, Procs: 3, Hosts: []string{"a", "b"}}); err == nil {
+		t.Fatalf("mismatched Procs vs Hosts succeeded")
+	}
+	if _, err := tcp.NewProcess(make([]int32, 8), 1, tcp.Options{Shards: 2, Hosts: []string{"a", "b", "c"}}); err == nil {
+		t.Fatalf("more hosts than shards succeeded")
+	}
+	// Procs above S clamps rather than errors, mirroring proc.
+	e, err := tcp.NewProcess(make([]int32, 16), 1, tcp.Options{Shards: 2, Procs: 8})
+	if err != nil {
+		t.Fatalf("NewProcess: %v", err)
+	}
+	if got := e.Procs(); got != 2 {
+		t.Fatalf("Procs() = %d, want clamp to 2", got)
+	}
+	e.Step()
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestTCPSpawnExitStatus: a self-spawned worker that dies before joining
+// fails construction with its exit status in the error, not a bare accept
+// timeout.
+func TestTCPSpawnExitStatus(t *testing.T) {
+	_, err := tcp.NewProcess(make([]int32, 8), 1, tcp.Options{
+		Shards: 2, Procs: 2,
+		Command:       []string{"/bin/false"},
+		AcceptTimeout: 2 * time.Second,
+	})
+	if err == nil {
+		t.Fatal("dead-on-arrival worker command succeeded")
+	}
+	if !strings.Contains(err.Error(), "exited") || !strings.Contains(err.Error(), "exit status 1") {
+		t.Fatalf("error %q does not carry the worker's exit status", err)
+	}
+}
+
+// benchTCP measures dense rounds over the loopback TCP transport; the
+// star/mesh pair is the BENCH_tcp.json ablation (EXPERIMENTS.md E26):
+// identical trajectories, different relay topology.
+func benchTCP(b *testing.B, mesh bool) {
+	n := 1 << 20
+	loads := make([]int32, n)
+	for i := range loads {
+		loads[i] = 1
+	}
+	e, err := tcp.NewProcess(loads, 1, tcp.Options{Shards: 8, Procs: 2, Mesh: mesh})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	b.SetBytes(int64(n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+func BenchmarkTCPStar(b *testing.B) { benchTCP(b, false) }
+func BenchmarkTCPMesh(b *testing.B) { benchTCP(b, true) }

@@ -1,0 +1,216 @@
+package spec
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestJSONRoundTrip: a normalized spec survives marshal → unmarshal →
+// normalize unchanged — the property that lets rbb-serve persist specs in
+// its manifest and lets checkpointed runs re-submit themselves.
+func TestJSONRoundTrip(t *testing.T) {
+	sp := RunSpec{
+		Process: ProcessTetris, Seed: 7, N: 4096, Rounds: 500, Shards: 8,
+		Init: "all-in-one", Lambda: 0.5, Quantiles: []float64{0.5, 0.99},
+		LoadWidth: 16,
+		Placement: Placement{Transport: TransportTCPMesh, Procs: 4, Workers: 2},
+	}
+	if err := sp.Normalize(100); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunSpec
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sp, back) {
+		t.Fatalf("round trip changed the spec:\n got %+v\nwant %+v", back, sp)
+	}
+	if err := back.Normalize(100); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sp, back) {
+		t.Fatalf("re-normalizing a normalized spec changed it:\n got %+v\nwant %+v", back, sp)
+	}
+	// The deprecated flat field never reappears in normalized output.
+	if strings.Contains(string(blob), `"transport":"tcp-mesh"`) && !strings.Contains(string(blob), `"placement"`) {
+		t.Fatalf("normalized spec serialized the flat transport: %s", blob)
+	}
+}
+
+// TestCompatShim: every pre-placement client body — the flat
+// {"transport": "pool"|"spawn"} shape served since the first rbb-serve —
+// keeps decoding to the same run. The flat field folds into the placement
+// and is cleared; a contradiction between the two is an error, not a
+// silent pick.
+func TestCompatShim(t *testing.T) {
+	legacy := `{"seed":1,"n":256,"rounds":50,"transport":"spawn"}`
+	var sp RunSpec
+	if err := json.Unmarshal([]byte(legacy), &sp); err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Normalize(0); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Placement.Transport != TransportSpawn || sp.Transport != "" {
+		t.Fatalf("flat transport did not fold into the placement: %+v", sp)
+	}
+
+	// Agreeing duplicate is tolerated; contradiction is rejected.
+	agree := RunSpec{N: 8, Rounds: 1, Transport: TransportSpawn, Placement: Placement{Transport: TransportSpawn}}
+	if err := agree.Normalize(0); err != nil {
+		t.Fatalf("agreeing flat+placement transport rejected: %v", err)
+	}
+	bad := RunSpec{N: 8, Rounds: 1, Transport: TransportPool, Placement: Placement{Transport: TransportSpawn}}
+	if err := bad.Normalize(0); err == nil || !strings.Contains(err.Error(), "contradicts") {
+		t.Fatalf("contradicting transports accepted: %v", err)
+	}
+
+	// Un-normalized manifests (flat field only) still resolve: the tolerant
+	// readers used by Build/Open fall back to the flat field.
+	old := RunSpec{Transport: TransportSpawn}
+	if got := old.transport(); got != TransportSpawn {
+		t.Fatalf("transport() = %q, want spawn", got)
+	}
+	if old.PoolKind() == (RunSpec{}).PoolKind() {
+		t.Fatal("PoolKind did not distinguish spawn from the pool default")
+	}
+}
+
+// TestVersioning: future schema versions are rejected, past ones upgraded.
+func TestVersioning(t *testing.T) {
+	sp := RunSpec{Version: Version + 1, N: 8, Rounds: 1}
+	if err := sp.Normalize(0); err == nil {
+		t.Fatal("future version accepted")
+	}
+	sp = RunSpec{N: 8, Rounds: 1}
+	if err := sp.Normalize(0); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Version != Version {
+		t.Fatalf("normalize stamped version %d, want %d", sp.Version, Version)
+	}
+}
+
+// TestResultKeyExcludesPlacement: the cache key covers exactly the
+// result-determining fields — two specs differing only in placement,
+// checkpoint policy, stream cadence or storage width share a key, and
+// every law field perturbs it.
+func TestResultKeyExcludesPlacement(t *testing.T) {
+	base := func() RunSpec {
+		sp := RunSpec{Seed: 3, N: 1024, M: 512, Rounds: 100, Shards: 4, Quantiles: []float64{0.9, 0.5}}
+		if err := sp.Normalize(10); err != nil {
+			t.Fatal(err)
+		}
+		return sp
+	}
+	ref := base().ResultKey()
+
+	same := base()
+	same.Placement = Placement{Transport: TransportTCPMesh, Procs: 4, Hosts: nil, Workers: 3}
+	same.CheckpointEvery, same.StreamEvery, same.LoadWidth = 77, 5, 32
+	if err := same.NormalizePlacement(); err != nil {
+		t.Fatal(err)
+	}
+	if same.ResultKey() != ref {
+		t.Fatalf("placement/policy fields leaked into the result key:\n %q\n %q", same.ResultKey(), ref)
+	}
+	// Quantile order is canonicalized.
+	reordered := base()
+	reordered.Quantiles = []float64{0.5, 0.9}
+	if reordered.ResultKey() != ref {
+		t.Fatal("quantile order perturbed the result key")
+	}
+
+	for name, mut := range map[string]func(*RunSpec){
+		"seed":   func(sp *RunSpec) { sp.Seed = 4 },
+		"n":      func(sp *RunSpec) { sp.N = 2048 },
+		"m":      func(sp *RunSpec) { sp.M = 513 },
+		"rounds": func(sp *RunSpec) { sp.Rounds = 101 },
+		"shards": func(sp *RunSpec) { sp.Shards = 8 },
+		"init":   func(sp *RunSpec) { sp.Init = "uniform" },
+	} {
+		sp := base()
+		mut(&sp)
+		if sp.ResultKey() == ref {
+			t.Errorf("%s did not perturb the result key", name)
+		}
+	}
+}
+
+// TestNormalizePlacement covers the placement validation matrix for both
+// frontends: the serve path (explicit shards) and the CLI path (shards 0 =
+// GOMAXPROCS, where shard-count checks defer to the engines' clamping).
+func TestNormalizePlacement(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      RunSpec
+		wantErr string
+		want    Placement
+	}{
+		{name: "default pool", in: RunSpec{}, want: Placement{Transport: TransportPool}},
+		{name: "unknown kind", in: RunSpec{Placement: Placement{Transport: "carrier-pigeon"}}, wantErr: "unknown placement.transport"},
+		{name: "procs on pool", in: RunSpec{Placement: Placement{Transport: TransportPool, Procs: 2}}, wantErr: "multi-process transport"},
+		{name: "hosts on spawn", in: RunSpec{Placement: Placement{Transport: TransportSpawn, Hosts: []string{"a"}}}, wantErr: "placement.hosts needs a tcp transport"},
+		{name: "hosts on proc", in: RunSpec{Placement: Placement{Transport: TransportProc, Hosts: []string{"a"}}}, wantErr: "placement.hosts needs a tcp transport"},
+		{name: "proc defaults procs", in: RunSpec{Placement: Placement{Transport: TransportProc}}, want: Placement{Transport: TransportProc, Procs: 2}},
+		{name: "hosts imply procs", in: RunSpec{Placement: Placement{Transport: TransportTCP, Hosts: []string{"a:1", "b:1"}}},
+			want: Placement{Transport: TransportTCP, Procs: 2, Hosts: []string{"a:1", "b:1"}}},
+		{name: "procs contradict hosts", in: RunSpec{Placement: Placement{Transport: TransportTCP, Procs: 3, Hosts: []string{"a:1"}}}, wantErr: "contradicts"},
+		{name: "hosts exceed shards", in: RunSpec{Shards: 2, Placement: Placement{Transport: TransportTCPMesh, Hosts: []string{"a", "b", "c"}}}, wantErr: "hosts <= shards"},
+		{name: "procs exceed shards", in: RunSpec{Shards: 2, Placement: Placement{Transport: TransportProc, Procs: 4}}, wantErr: "exceeds"},
+		{name: "cli shards 0 skips shard checks", in: RunSpec{Placement: Placement{Transport: TransportProc, Procs: 64}},
+			want: Placement{Transport: TransportProc, Procs: 64}},
+		{name: "negative procs", in: RunSpec{Placement: Placement{Transport: TransportProc, Procs: -1}}, wantErr: "procs >= 0"},
+		{name: "negative workers", in: RunSpec{Placement: Placement{Workers: -1}}, wantErr: "workers >= 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.in.NormalizePlacement()
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(tc.in.Placement, tc.want) {
+				t.Fatalf("placement = %+v, want %+v", tc.in.Placement, tc.want)
+			}
+		})
+	}
+}
+
+// TestNormalizeErrors covers the law-plane validation.
+func TestNormalizeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   RunSpec
+	}{
+		{"bad process", RunSpec{Process: "bogus", N: 8, Rounds: 1}},
+		{"n zero", RunSpec{Rounds: 1}},
+		{"rounds zero", RunSpec{N: 8}},
+		{"lambda on rbb", RunSpec{N: 8, Rounds: 1, Lambda: 0.5}},
+		{"m on tetris", RunSpec{Process: ProcessTetris, N: 8, M: 4, Rounds: 1}},
+		{"lambda out of range", RunSpec{Process: ProcessTetris, N: 8, Rounds: 1, Lambda: 1.5}},
+		{"shards over n", RunSpec{N: 4, Rounds: 1, Shards: 8}},
+		{"bad init", RunSpec{N: 8, Rounds: 1, Init: "bogus"}},
+		{"bad quantile", RunSpec{N: 8, Rounds: 1, Quantiles: []float64{1.5}}},
+		{"bad load width", RunSpec{N: 8, Rounds: 1, LoadWidth: 7}},
+		{"negative checkpoint every", RunSpec{N: 8, Rounds: 1, CheckpointEvery: -1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.in.Normalize(0); err == nil {
+				t.Fatalf("spec %+v accepted", tc.in)
+			}
+		})
+	}
+}
