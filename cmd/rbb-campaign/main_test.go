@@ -1,0 +1,187 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/spec"
+)
+
+// writeSpec writes a small two-axis campaign spec file and returns its
+// path.
+func writeSpec(t *testing.T, dir string) string {
+	t.Helper()
+	cs := campaign.CampaignSpec{
+		Name: "cli-test",
+		Base: spec.RunSpec{Seed: 3, Rounds: 60, Shards: 2, Quantiles: []float64{0.5}},
+		Axes: []campaign.Axis{
+			{Field: campaign.FieldN, Values: []float64{32, 64}},
+		},
+		Replicas:    2,
+		Concurrency: 2,
+	}
+	blob, err := json.Marshal(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunStatusAggregate drives the full subcommand surface over one
+// directory: run to completion, status reports every point done, and
+// aggregate reprints the table byte-identical to the run's artifact.
+func TestRunStatusAggregate(t *testing.T) {
+	dir := t.TempDir()
+	specPath := writeSpec(t, dir)
+	campDir := filepath.Join(dir, "camp")
+
+	var out strings.Builder
+	if err := run([]string{"run", "-spec", specPath, "-dir", campDir, "-quiet"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "window_max_mean") {
+		t.Errorf("run output is not the aggregate table:\n%s", out.String())
+	}
+	artifact, err := os.ReadFile(filepath.Join(campDir, campaign.ArtifactText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(artifact) {
+		t.Errorf("run stdout differs from aggregate.txt artifact:\n%s\nvs\n%s", out.String(), artifact)
+	}
+
+	var status strings.Builder
+	if err := run([]string{"status", "-dir", campDir}, &status); err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if !strings.Contains(status.String(), "4 points: 4 done, 0 failed, 0 pending") {
+		t.Errorf("status output:\n%s", status.String())
+	}
+
+	var agg strings.Builder
+	if err := run([]string{"aggregate", "-dir", campDir}, &agg); err != nil {
+		t.Fatalf("aggregate: %v", err)
+	}
+	if agg.String() != string(artifact) {
+		t.Errorf("aggregate output differs from artifact:\n%s\nvs\n%s", agg.String(), artifact)
+	}
+	var csv strings.Builder
+	if err := run([]string{"aggregate", "-dir", campDir, "-format", "csv"}, &csv); err != nil {
+		t.Fatalf("aggregate csv: %v", err)
+	}
+	csvArtifact, err := os.ReadFile(filepath.Join(campDir, campaign.ArtifactCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csv.String() != string(csvArtifact) {
+		t.Errorf("csv aggregate differs from artifact")
+	}
+
+	// Re-running over the completed directory skips every point and
+	// reprints the identical table (the resume path of "run").
+	var rerun strings.Builder
+	if err := run([]string{"run", "-spec", specPath, "-dir", campDir, "-quiet"}, &rerun); err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	if rerun.String() != out.String() {
+		t.Errorf("rerun output differs from first run")
+	}
+
+	// "resume" needs no spec file at all.
+	var resumed strings.Builder
+	if err := run([]string{"resume", "-dir", campDir}, &resumed); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if resumed.String() != out.String() {
+		t.Errorf("resume output differs from first run")
+	}
+}
+
+// TestInterruptedThenResumed kills a campaign mid-flight through the
+// library (the CLI's ctx is the same cancellation path) and finishes it
+// with the resume subcommand: the final artifacts must match an
+// uninterrupted reference byte for byte.
+func TestInterruptedThenResumed(t *testing.T) {
+	dir := t.TempDir()
+	specPath := writeSpec(t, dir)
+
+	refDir := filepath.Join(dir, "ref")
+	var ref strings.Builder
+	if err := run([]string{"run", "-spec", specPath, "-dir", refDir, "-quiet"}, &ref); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupt after the first completed point.
+	spec, err := os.ReadFile(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed campaign.CampaignSpec
+	if err := json.Unmarshal(spec, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	killDir := filepath.Join(dir, "kill")
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	res, err := campaign.Run(ctx, parsed, campaign.Options{
+		Dir:         killDir,
+		Concurrency: 1,
+		OnPoint: func(st campaign.PointState) {
+			if st.Status == campaign.StatusDone {
+				once.Do(cancel)
+			}
+		},
+	})
+	cancel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Skip("campaign finished before the cancel landed")
+	}
+
+	var resumed strings.Builder
+	if err := run([]string{"resume", "-dir", killDir, "-quiet"}, &resumed); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if resumed.String() != ref.String() {
+		t.Errorf("resumed aggregate differs from uninterrupted reference:\n%s\nvs\n%s", resumed.String(), ref.String())
+	}
+}
+
+// TestErrors pins the subcommand validation surface.
+func TestErrors(t *testing.T) {
+	var out strings.Builder
+	cases := [][]string{
+		{},
+		{"bogus"},
+		{"run"},
+		{"run", "-spec", "/nonexistent/spec.json"},
+		{"resume"},
+		{"resume", "-dir", t.TempDir()},
+		{"status"},
+		{"status", "-dir", t.TempDir()},
+		{"aggregate", "-dir", t.TempDir()},
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+	if err := run([]string{"version"}, &out); err != nil {
+		t.Errorf("version: %v", err)
+	}
+	if err := run([]string{"help"}, &out); err != nil {
+		t.Errorf("help: %v", err)
+	}
+}

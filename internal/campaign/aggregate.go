@@ -1,0 +1,118 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/atomicio"
+	"repro/internal/stats"
+	"repro/internal/table"
+)
+
+// Aggregate folds a fully-done campaign into its phase-diagram table: one
+// row per axis combination, replicas collapsed into per-cell statistics
+// (mean window max and its across-replica max, min/mean empty-bin
+// fractions, mean per-quantile estimates). Row order is expansion order
+// and every cell is a deterministic function of the point summaries, so
+// the rendered artifact is byte-identical across runs, resumes and
+// platforms — the property the kill-and-resume equivalence gate pins.
+func Aggregate(cs CampaignSpec, plan *Plan, states []PointState) (*table.Table, error) {
+	if len(states) != len(plan.Points) {
+		return nil, fmt.Errorf("campaign: aggregate over %d states for %d points", len(states), len(plan.Points))
+	}
+	for i := range states {
+		if states[i].Status != StatusDone || states[i].Summary == nil {
+			return nil, fmt.Errorf("campaign: point %s is %s, aggregation needs every point done", states[i].ID, states[i].Status)
+		}
+	}
+	r := cs.Replicas
+	if r < 1 {
+		r = 1
+	}
+	axes := plan.AxisNames
+	if r > 1 {
+		axes = axes[:len(axes)-1] // the replica coordinate collapses
+	}
+	first := states[0].Summary
+	cols := append([]string{}, axes...)
+	cols = append(cols, "replicas", "window_max_mean", "window_max_max", "empty_min", "empty_mean")
+	for _, q := range first.Quantiles {
+		cols = append(cols, qLabel(q.P)+"_mean")
+	}
+	title := cs.Name
+	if title == "" {
+		title = "campaign " + plan.ID
+	}
+	tb := table.New(title, cols...)
+	for g := 0; g < len(states); g += r {
+		var window, empty stats.Stream
+		emptyMin := math.Inf(1)
+		windowMax := int32(0)
+		qmeans := make([]stats.Stream, len(first.Quantiles))
+		for i := g; i < g+r; i++ {
+			s := states[i].Summary
+			if len(s.Quantiles) != len(first.Quantiles) {
+				return nil, fmt.Errorf("campaign: point %s tracks %d quantiles, expected %d", states[i].ID, len(s.Quantiles), len(first.Quantiles))
+			}
+			window.Add(float64(s.WindowMax))
+			if s.WindowMax > windowMax {
+				windowMax = s.WindowMax
+			}
+			if s.EmptyMin < emptyMin {
+				emptyMin = s.EmptyMin
+			}
+			empty.Add(s.EmptyMean)
+			for qi, q := range s.Quantiles {
+				qmeans[qi].Add(q.Estimate)
+			}
+		}
+		row := make([]any, 0, len(cols))
+		for _, c := range plan.Points[g].Coords[:len(axes)] {
+			row = append(row, c)
+		}
+		row = append(row, r, window.Mean(), windowMax, emptyMin, empty.Mean())
+		for qi := range qmeans {
+			row = append(row, qmeans[qi].Mean())
+		}
+		tb.AddRow(row...)
+	}
+	tb.AddNote(fmt.Sprintf("campaign %s: %d points (%d combinations x %d replicas)",
+		plan.ID, len(states), len(states)/r, r))
+	return tb, nil
+}
+
+// qLabel renders a quantile probability as a column label: 0.5 → "p50",
+// 0.999 → "p99.9". Same rounding rule as the shard pipeline's labels, so
+// binary floating point cannot leak into a column name.
+func qLabel(p float64) string {
+	return "p" + strings.TrimSuffix(strconv.FormatFloat(math.Round(p*1000)/10, 'f', -1, 64), ".0")
+}
+
+// Artifact filenames WriteArtifacts emits into a campaign directory.
+const (
+	ArtifactText = "aggregate.txt"
+	ArtifactCSV  = "aggregate.csv"
+	ArtifactJSON = "aggregate.json"
+)
+
+// WriteArtifacts atomically renders the aggregate table into dir in all
+// three artifact forms.
+func WriteArtifacts(dir string, tb *table.Table) error {
+	for name, f := range map[string]table.Format{
+		ArtifactText: table.Text,
+		ArtifactCSV:  table.CSV,
+		ArtifactJSON: table.JSON,
+	} {
+		err := atomicio.WriteFile(filepath.Join(dir, name), func(w io.Writer) error {
+			return tb.RenderAs(w, f)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

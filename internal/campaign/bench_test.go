@@ -1,0 +1,87 @@
+package campaign
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/shard"
+	"repro/internal/spec"
+)
+
+// benchSpec is the scheduling-overhead grid: 16 tiny points, so the
+// campaign machinery (expansion, manifest-free transitions, the worker
+// pool) is a visible fraction of the work rather than noise under it.
+func benchSpec(conc int) CampaignSpec {
+	return CampaignSpec{
+		Base: spec.RunSpec{Seed: 1, Rounds: 200, Shards: 1},
+		Axes: []Axis{
+			{Field: FieldN, Values: []float64{64, 128, 256, 512}},
+		},
+		Replicas:    4,
+		Concurrency: conc,
+	}
+}
+
+// BenchmarkCampaignScheduler runs the grid through the campaign worker
+// pool (in-memory, GOMAXPROCS concurrency): the cost of a swept phase
+// diagram as users run it.
+func BenchmarkCampaignScheduler(b *testing.B) {
+	cs := benchSpec(runtime.GOMAXPROCS(0))
+	for i := 0; i < b.N; i++ {
+		res, err := Run(context.Background(), cs, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Done != 16 {
+			b.Fatalf("done = %d", res.Done)
+		}
+	}
+}
+
+// BenchmarkCampaignSequential runs the identical 16 points back to back
+// with no campaign machinery at all — the floor the scheduler's overhead
+// is measured against (at concurrency 1 the difference IS the overhead;
+// at GOMAXPROCS the scheduler should beat this floor on multi-core).
+func BenchmarkCampaignSequential(b *testing.B) {
+	cs := benchSpec(1)
+	plan, err := cs.Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, pt := range plan.Points {
+			p, err := pt.Spec.Build(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pipe, err := shard.NewPipeline(pt.Spec.Quantiles)
+			if err != nil {
+				b.Fatal(err)
+			}
+			engine.Run(p, pt.Spec.Rounds, pipe)
+			sum := pipe.SummaryFor(p)
+			if sum.Rounds != pt.Spec.Rounds {
+				b.Fatalf("rounds = %d", sum.Rounds)
+			}
+			p.Close()
+		}
+	}
+}
+
+// BenchmarkCampaignExpand measures expansion alone: the pure-function
+// spec → plan lowering (axis normalization, odometer product, point IDs,
+// the campaign law hash) for the 16-point grid.
+func BenchmarkCampaignExpand(b *testing.B) {
+	cs := benchSpec(1)
+	for i := 0; i < b.N; i++ {
+		plan, err := cs.Expand()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(plan.Points) != 16 {
+			b.Fatalf("points = %d", len(plan.Points))
+		}
+	}
+}

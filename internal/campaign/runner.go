@@ -1,0 +1,326 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/engine"
+	"repro/internal/shard"
+	"repro/internal/spec"
+	"repro/internal/table"
+)
+
+// Options configures one campaign execution.
+type Options struct {
+	// Dir is the campaign directory: manifest, per-point checkpoints and
+	// the aggregate artifacts live in it. Empty runs the campaign
+	// in-memory (no resumability, no artifacts).
+	Dir string
+	// Concurrency overrides the spec's concurrent-point budget when > 0.
+	Concurrency int
+	// HostWorkers is the host's default phase worker count per point
+	// (0 = GOMAXPROCS), overridden per point by the base placement.
+	HostWorkers int
+	// CheckpointEvery is the periodic snapshot period (rounds) for rbb
+	// points whose spec does not set its own. 0 writes only interrupt
+	// and final snapshots.
+	CheckpointEvery int64
+	// Server, when set, executes points against a running rbb-serve at
+	// this base URL instead of in process; identical law points hit the
+	// server's result cache.
+	Server string
+	// OnPoint, when non-nil, observes every point state transition
+	// (running, done, failed, and back-to-pending on interruption) from
+	// the worker goroutines; it must be safe for concurrent use.
+	OnPoint func(PointState)
+}
+
+// Result is a campaign execution's outcome.
+type Result struct {
+	// CampaignID is the law identity of the expanded campaign.
+	CampaignID string
+	// AxisNames are the plan's axis names (replica coordinate included).
+	AxisNames []string
+	// Points are the final point states in expansion order.
+	Points []PointState
+	// Done and Failed count terminal points.
+	Done, Failed int
+	// Stopped reports an interrupted campaign: the context was cancelled
+	// before every point reached a terminal state. Re-running the same
+	// spec over the same Dir resumes it.
+	Stopped bool
+	// Table is the aggregate phase-diagram table, set once every point
+	// is done (with a Dir, the artifacts are on disk too).
+	Table *table.Table
+}
+
+// runner is the shared state of one campaign execution.
+type runner struct {
+	opts   Options
+	spec   CampaignSpec
+	plan   *Plan
+	remote *client
+
+	mu     sync.Mutex
+	states []PointState
+}
+
+// Run executes (or resumes) a campaign: expand, reconcile against the
+// directory's manifest, then drive every non-done point through a pool of
+// Concurrency workers in expansion order. Cancelling ctx is the
+// SIGTERM/shutdown hook — in-flight rbb points snapshot at their next
+// round boundary via the checkpoint machinery and drop back to pending;
+// queued points never start. Point failures don't stop the campaign; they
+// are recorded and reported in the Result (and retried by a resume).
+func Run(ctx context.Context, cs CampaignSpec, opts Options) (*Result, error) {
+	plan, err := cs.Expand()
+	if err != nil {
+		return nil, err
+	}
+	r := &runner{opts: opts, spec: cs, plan: plan}
+	if opts.Server != "" {
+		r.remote = newClient(opts.Server)
+	}
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, err
+		}
+		m, err := ReadManifest(opts.Dir)
+		if err != nil {
+			return nil, err
+		}
+		if m != nil {
+			if r.states, err = reconcile(m, plan); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if r.states == nil {
+		r.states = newManifest(cs, plan).Points
+	}
+	if err := r.persist(); err != nil {
+		return nil, err
+	}
+
+	conc := opts.Concurrency
+	if conc <= 0 {
+		conc = cs.Concurrency
+	}
+	if conc < 1 {
+		conc = 1
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				// A cancelled campaign drains the queue without starting
+				// new points; they stay pending for the resume.
+				if ctx.Err() == nil {
+					r.runPoint(ctx, i)
+				}
+			}
+		}()
+	}
+	for i := range plan.Points {
+		// Done points are skipped byte-identically: their stored summaries
+		// and digests feed the aggregate exactly as a fresh run would.
+		// Failed points get a fresh attempt.
+		if r.states[i].Status != StatusDone {
+			jobs <- i
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	res := &Result{CampaignID: plan.ID, AxisNames: plan.AxisNames, Points: r.snapshotStates()}
+	for i := range res.Points {
+		switch res.Points[i].Status {
+		case StatusDone:
+			res.Done++
+		case StatusFailed:
+			res.Failed++
+		}
+	}
+	res.Stopped = ctx.Err() != nil && res.Done+res.Failed < len(res.Points)
+	if err := r.persist(); err != nil {
+		return res, err
+	}
+	if res.Done == len(res.Points) {
+		tb, err := Aggregate(cs, plan, res.Points)
+		if err != nil {
+			return res, err
+		}
+		res.Table = tb
+		if opts.Dir != "" {
+			if err := WriteArtifacts(opts.Dir, tb); err != nil {
+				return res, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// snapshotStates copies the current point states under the lock.
+func (r *runner) snapshotStates() []PointState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]PointState, len(r.states))
+	copy(out, r.states)
+	return out
+}
+
+// persist writes the manifest (no-op without a directory).
+func (r *runner) persist() error {
+	if r.opts.Dir == "" {
+		return nil
+	}
+	r.mu.Lock()
+	m := &Manifest{Version: Version, CampaignID: r.plan.ID, Spec: r.spec, Points: make([]PointState, len(r.states))}
+	copy(m.Points, r.states)
+	r.mu.Unlock()
+	return WriteManifest(r.opts.Dir, m)
+}
+
+// transition updates point i under the lock, persists the manifest, and
+// notifies the observer. Manifest write errors are reported through the
+// point state: losing durability silently would break the resume
+// contract.
+func (r *runner) transition(i int, mutate func(*PointState)) {
+	r.mu.Lock()
+	mutate(&r.states[i])
+	st := r.states[i]
+	r.mu.Unlock()
+	if err := r.persist(); err != nil && st.Status != StatusFailed {
+		r.mu.Lock()
+		r.states[i].Status = StatusFailed
+		r.states[i].Error = fmt.Sprintf("persist manifest: %v", err)
+		st = r.states[i]
+		r.mu.Unlock()
+	}
+	if r.opts.OnPoint != nil {
+		r.opts.OnPoint(st)
+	}
+}
+
+// runPoint drives point i to a terminal state (or to an interrupted
+// pending state when ctx is cancelled mid-flight).
+func (r *runner) runPoint(ctx context.Context, i int) {
+	pt := r.plan.Points[i]
+	r.transition(i, func(st *PointState) { st.Status = StatusRunning })
+	start := time.Now()
+	var (
+		sum         *shard.Summary
+		round       int64
+		runID       string
+		interrupted bool
+		err         error
+	)
+	if r.remote != nil {
+		r.mu.Lock()
+		prevRunID := r.states[i].RunID
+		r.mu.Unlock()
+		sum, round, runID, interrupted, err = r.remote.runPoint(ctx, pt.Spec, prevRunID)
+	} else {
+		sum, round, interrupted, err = r.runLocal(ctx, pt)
+	}
+	switch {
+	case err != nil:
+		NotePoint(StatusFailed, false, 0)
+		r.transition(i, func(st *PointState) {
+			st.Status, st.Error, st.Round, st.RunID = StatusFailed, err.Error(), round, runID
+		})
+	case interrupted:
+		NotePoint(StatusPending, true, 0)
+		r.transition(i, func(st *PointState) {
+			st.Status, st.Round, st.RunID = StatusPending, round, runID
+		})
+	default:
+		NotePoint(StatusDone, false, time.Since(start).Seconds())
+		r.transition(i, func(st *PointState) {
+			st.Status, st.Round, st.RunID = StatusDone, round, runID
+			st.Summary, st.Digest, st.Error = sum, SummaryDigest(sum), ""
+		})
+		if r.opts.Dir != "" {
+			// The point's checkpoint has served its purpose; the summary
+			// is the durable result now.
+			os.Remove(CheckpointPath(r.opts.Dir, pt.ID))
+		}
+	}
+}
+
+// runLocal executes one point in process: rbb points run under the
+// checkpoint machinery (resume from the point's snapshot if one exists,
+// periodic + interrupt snapshots into the campaign directory), the leaky
+// bins processes run to completion or replay from round zero after an
+// interruption — both reproduce the identical trajectory either way.
+func (r *runner) runLocal(ctx context.Context, pt Point) (*shard.Summary, int64, bool, error) {
+	sp := pt.Spec
+	ckptPath := ""
+	if r.opts.Dir != "" && sp.Process == spec.ProcessRBB {
+		ckptPath = CheckpointPath(r.opts.Dir, pt.ID)
+	}
+	var (
+		proc spec.Process
+		pipe *shard.Pipeline
+	)
+	if ckptPath != "" {
+		if _, statErr := os.Stat(ckptPath); statErr == nil {
+			snap, err := checkpoint.ReadFile(ckptPath)
+			if err != nil {
+				return nil, 0, false, fmt.Errorf("resume %s: %w", pt.ID, err)
+			}
+			// The file is keyed only by point id; cross-check its identity
+			// against the spec so a stale or foreign checkpoint can never
+			// impersonate this point's trajectory.
+			if snap.Seed != sp.Seed || snap.Engine.N != sp.N || len(snap.Engine.Shards) != sp.Shards {
+				return nil, 0, false, fmt.Errorf("resume %s: checkpoint is for (seed %d, n %d, shards %d), point wants (seed %d, n %d, shards %d)",
+					pt.ID, snap.Seed, snap.Engine.N, len(snap.Engine.Shards), sp.Seed, sp.N, sp.Shards)
+			}
+			if proc, pipe, err = sp.Open(snap, r.opts.HostWorkers); err != nil {
+				return nil, 0, false, fmt.Errorf("resume %s: %w", pt.ID, err)
+			}
+		}
+	}
+	if proc == nil {
+		var err error
+		if proc, err = sp.Build(r.opts.HostWorkers); err != nil {
+			return nil, 0, false, err
+		}
+	}
+	defer proc.Close()
+	if pipe == nil {
+		var err error
+		if pipe, err = shard.NewPipeline(sp.Quantiles); err != nil {
+			return nil, 0, false, err
+		}
+	}
+	var (
+		round   int64
+		stopped bool
+	)
+	if cp, ok := proc.(checkpoint.Process); ok && sp.Process == spec.ProcessRBB {
+		every := sp.CheckpointEvery
+		if every == 0 {
+			every = r.opts.CheckpointEvery
+		}
+		pol := checkpoint.Policy{Path: ckptPath, Every: every, Seed: sp.Seed, Pipeline: pipe}
+		var err error
+		if round, stopped, err = checkpoint.Run(ctx, cp, sp.Rounds, pol); err != nil {
+			return nil, round, stopped, err
+		}
+	} else {
+		round, stopped = engine.RunContext(ctx, proc, sp.Rounds, pipe)
+	}
+	if stopped {
+		return nil, round, true, nil
+	}
+	sum := pipe.SummaryFor(proc)
+	return &sum, round, false, nil
+}

@@ -12,6 +12,15 @@
 //	                                with Accept: text/event-stream)
 //	POST   /v1/runs/{id}/cancel     cancel (DELETE /v1/runs/{id} is an alias)
 //	POST   /v1/runs/{id}/checkpoint snapshot a running rbb run on demand
+//	POST   /v1/campaigns            submit a parameter sweep
+//	                                (campaign.CampaignSpec); 202 + CampaignInfo
+//	GET    /v1/campaigns            list all campaigns (newest last)
+//	GET    /v1/campaigns/{id}       one campaign's CampaignInfo
+//	GET    /v1/campaigns/{id}/aggregate
+//	                                phase-diagram table (?format=json|csv|text);
+//	                                409 until the campaign is done
+//	GET    /v1/campaigns/{id}/stream
+//	                                per-point progress events, NDJSON or SSE
 //	GET    /healthz                 liveness + scheduler counters
 //
 // # Determinism

@@ -1,0 +1,485 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/table"
+)
+
+// CampaignInfo is the public state of one campaign. Campaigns are an
+// in-memory orchestration layer: every point is an ordinary run (durable,
+// cached, resumable through the run machinery), while the campaign record
+// itself dies with the process — durable campaign resumability lives in
+// cmd/rbb-campaign, whose manifest directory survives restarts.
+// Resubmitting a campaign after a restart rides the result cache, so
+// completed points cost nothing the second time.
+type CampaignInfo struct {
+	ID string `json:"id"`
+	// Name is the spec's label; LawID is the campaign's law identity
+	// (campaign.Plan.ID) — placement- and concurrency-independent.
+	Name  string `json:"name,omitempty"`
+	LawID string `json:"law_id"`
+	// Status is queued|running|done|failed (failed covers any point
+	// failure and a server shutdown mid-campaign).
+	Status Status `json:"status"`
+	// Points is the expanded point count; Done/Failed/Cached count
+	// terminal points, Cached the subset of Done answered from the
+	// result cache.
+	Points int    `json:"points"`
+	Done   int    `json:"done"`
+	Failed int    `json:"failed"`
+	Cached int    `json:"cached"`
+	Error  string `json:"error,omitempty"`
+}
+
+// CampaignEvent is one line of a campaign's progress stream: a point
+// transition plus the campaign's running totals.
+type CampaignEvent struct {
+	Point  string `json:"point"`
+	Index  int    `json:"index"`
+	RunID  string `json:"run_id,omitempty"`
+	Status string `json:"status"` // running | done | failed
+	Cached bool   `json:"cached,omitempty"`
+	Done   int    `json:"done"`
+	Failed int    `json:"failed"`
+	Points int    `json:"points"`
+}
+
+// campaignRun is one tracked campaign: public info, per-point states for
+// the final aggregation, and the stream fan-out hub (same best-effort
+// contract as run's).
+type campaignRun struct {
+	mu     sync.Mutex
+	info   CampaignInfo
+	spec   campaign.CampaignSpec
+	plan   *campaign.Plan
+	states []campaign.PointState
+	table  *table.Table
+	subs   map[chan []byte]struct{}
+}
+
+func newCampaignRun(id string, cs campaign.CampaignSpec, plan *campaign.Plan) *campaignRun {
+	c := &campaignRun{
+		info: CampaignInfo{ID: id, Name: cs.Name, LawID: plan.ID, Status: StatusQueued, Points: len(plan.Points)},
+		spec: cs,
+		plan: plan,
+		subs: make(map[chan []byte]struct{}),
+	}
+	for _, pt := range plan.Points {
+		c.states = append(c.states, campaign.PointState{
+			ID: pt.ID, Index: pt.Index, Coords: pt.Coords, Status: campaign.StatusPending,
+		})
+	}
+	return c
+}
+
+// Info returns a copy of the public state.
+func (c *campaignRun) Info() CampaignInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.info
+}
+
+// Aggregate returns the phase-diagram table, nil until the campaign is
+// done.
+func (c *campaignRun) Aggregate() *table.Table {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.table
+}
+
+// subscribe registers a stream channel, nil when already terminal.
+func (c *campaignRun) subscribe() chan []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.info.Status.Terminal() {
+		return nil
+	}
+	ch := make(chan []byte, 64)
+	c.subs[ch] = struct{}{}
+	return ch
+}
+
+func (c *campaignRun) unsubscribe(ch chan []byte) {
+	c.mu.Lock()
+	if _, ok := c.subs[ch]; ok {
+		delete(c.subs, ch)
+		close(ch)
+	}
+	c.mu.Unlock()
+}
+
+// transition mutates point i under the lock, refreshes the counters and
+// fans the event out to subscribers (best-effort, never blocking the
+// driver). cached marks a point completion answered from the result
+// cache.
+func (c *campaignRun) transition(i int, cached bool, mutate func(*campaign.PointState)) {
+	c.mu.Lock()
+	mutate(&c.states[i])
+	st := c.states[i]
+	done, failed := 0, 0
+	for j := range c.states {
+		switch c.states[j].Status {
+		case campaign.StatusDone:
+			done++
+		case campaign.StatusFailed:
+			failed++
+		}
+	}
+	if cached {
+		c.info.Cached++
+	}
+	c.info.Status = StatusRunning
+	c.info.Done, c.info.Failed = done, failed
+	ev := CampaignEvent{
+		Point: st.ID, Index: st.Index, RunID: st.RunID, Status: string(st.Status),
+		Cached: cached, Done: done, Failed: failed, Points: c.info.Points,
+	}
+	blob, _ := json.Marshal(ev)
+	for ch := range c.subs {
+		select {
+		case ch <- blob:
+		default: // slow subscriber: drop the sample, never the campaign
+		}
+	}
+	c.mu.Unlock()
+}
+
+// finish applies the terminal state and closes every subscriber channel.
+func (c *campaignRun) finish(mutate func(*CampaignInfo)) {
+	c.mu.Lock()
+	mutate(&c.info)
+	subs := c.subs
+	c.subs = make(map[chan []byte]struct{})
+	c.mu.Unlock()
+	for ch := range subs {
+		close(ch)
+	}
+}
+
+// SubmitCampaign expands and starts a campaign: its points become
+// ordinary submissions (identical law points hit the result cache) driven
+// by a goroutine pool bounded by the spec's Concurrency.
+func (s *Server) SubmitCampaign(cs campaign.CampaignSpec) (CampaignInfo, error) {
+	plan, err := cs.Expand()
+	if err != nil {
+		return CampaignInfo{}, &badRequestError{err}
+	}
+	s.mu.Lock()
+	s.nextCampaign++
+	id := fmt.Sprintf("c%06d", s.nextCampaign)
+	c := newCampaignRun(id, cs, plan)
+	s.campaigns[id] = c
+	s.campaignOrder = append(s.campaignOrder, id)
+	s.mu.Unlock()
+	s.logger.Info("campaign queued", "id", id, "law_id", plan.ID, "points", len(plan.Points))
+	s.wg.Add(1)
+	go s.driveCampaign(c)
+	return c.Info(), nil
+}
+
+// CampaignRunInfo returns the public state of one campaign.
+func (s *Server) CampaignRunInfo(id string) (CampaignInfo, bool) {
+	s.mu.Lock()
+	c, ok := s.campaigns[id]
+	s.mu.Unlock()
+	if !ok {
+		return CampaignInfo{}, false
+	}
+	return c.Info(), true
+}
+
+// Campaigns lists every campaign in submission order.
+func (s *Server) Campaigns() []CampaignInfo {
+	s.mu.Lock()
+	cs := make([]*campaignRun, 0, len(s.campaignOrder))
+	for _, id := range s.campaignOrder {
+		cs = append(cs, s.campaigns[id])
+	}
+	s.mu.Unlock()
+	out := make([]CampaignInfo, 0, len(cs))
+	for _, c := range cs {
+		out = append(out, c.Info())
+	}
+	return out
+}
+
+// lookupCampaign returns the campaign with the given id, if any.
+func (s *Server) lookupCampaign(id string) (*campaignRun, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.campaigns[id]
+	return c, ok
+}
+
+// awaitRun blocks until the run reaches a terminal state or the server
+// shuts down, returning the last observed state.
+func (s *Server) awaitRun(r *run) RunInfo {
+	for {
+		ch := r.subscribe()
+		if ch == nil {
+			return r.Info()
+		}
+	drain:
+		for {
+			select {
+			case _, open := <-ch:
+				if !open {
+					break drain
+				}
+			case <-s.stopCtx.Done():
+				r.unsubscribe(ch)
+				return r.Info()
+			}
+		}
+		info := r.Info()
+		// A non-terminal state after the hub closed means the run was
+		// re-queued by a shutdown; with the server stopping there is
+		// nothing left to wait for.
+		if info.Status.Terminal() || s.stopCtx.Err() != nil {
+			return info
+		}
+	}
+}
+
+// driveCampaign executes a campaign's points through the ordinary Submit
+// path with a bounded driver pool. Point failures don't stop the
+// campaign; a server shutdown does (in-flight point runs snapshot and
+// requeue through the run machinery, and the campaign reports failed —
+// resubmit after restart to ride the result cache).
+func (s *Server) driveCampaign(c *campaignRun) {
+	defer s.wg.Done()
+	conc := c.spec.Concurrency
+	if conc < 1 {
+		conc = 1
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if s.stopCtx.Err() != nil {
+					continue
+				}
+				s.driveCampaignPoint(c, i)
+			}
+		}()
+	}
+	for i := range c.plan.Points {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	info := c.Info()
+	switch {
+	case s.stopCtx.Err() != nil && info.Done+info.Failed < info.Points:
+		c.finish(func(ci *CampaignInfo) {
+			ci.Status = StatusFailed
+			ci.Error = "interrupted by server shutdown (campaign progress is in-memory; resubmit to ride the result cache)"
+		})
+	case info.Failed > 0:
+		c.finish(func(ci *CampaignInfo) {
+			ci.Status = StatusFailed
+			ci.Error = fmt.Sprintf("%d of %d points failed", info.Failed, info.Points)
+		})
+	default:
+		c.mu.Lock()
+		states := append([]campaign.PointState(nil), c.states...)
+		c.mu.Unlock()
+		tb, err := campaign.Aggregate(c.spec, c.plan, states)
+		if err != nil {
+			c.finish(func(ci *CampaignInfo) {
+				ci.Status = StatusFailed
+				ci.Error = fmt.Sprintf("aggregate: %v", err)
+			})
+			break
+		}
+		c.mu.Lock()
+		c.table = tb
+		c.mu.Unlock()
+		c.finish(func(ci *CampaignInfo) { ci.Status = StatusDone })
+	}
+	info = c.Info()
+	s.logger.Info("campaign finished", "id", info.ID, "status", string(info.Status),
+		"done", info.Done, "failed", info.Failed)
+}
+
+// driveCampaignPoint runs one point: submit, await, record. Terminal
+// outcomes feed campaign.NotePoint so the serve process exposes the same
+// rbb_campaign_points_total / rbb_campaign_point_seconds series as the
+// in-process runner.
+func (s *Server) driveCampaignPoint(c *campaignRun, i int) {
+	pt := c.plan.Points[i]
+	start := time.Now()
+	info, err := s.Submit(pt.Spec)
+	if err != nil {
+		campaign.NotePoint(campaign.StatusFailed, false, 0)
+		c.transition(i, false, func(st *campaign.PointState) {
+			st.Status, st.Error = campaign.StatusFailed, err.Error()
+		})
+		return
+	}
+	c.transition(i, false, func(st *campaign.PointState) {
+		st.Status, st.RunID = campaign.StatusRunning, info.ID
+	})
+	r, ok := s.lookup(info.ID)
+	if !ok {
+		campaign.NotePoint(campaign.StatusFailed, false, 0)
+		c.transition(i, false, func(st *campaign.PointState) {
+			st.Status, st.Error = campaign.StatusFailed, "run vanished (retention policy evicted it mid-campaign)"
+		})
+		return
+	}
+	final := s.awaitRun(r)
+	switch {
+	case final.Status == StatusDone && final.Summary != nil:
+		campaign.NotePoint(campaign.StatusDone, false, time.Since(start).Seconds())
+		c.transition(i, final.Cached, func(st *campaign.PointState) {
+			st.Status, st.Round = campaign.StatusDone, final.Round
+			st.Summary, st.Digest = final.Summary, campaign.SummaryDigest(final.Summary)
+		})
+	case final.Status.Terminal():
+		campaign.NotePoint(campaign.StatusFailed, false, 0)
+		c.transition(i, false, func(st *campaign.PointState) {
+			st.Status = campaign.StatusFailed
+			st.Error = fmt.Sprintf("run %s %s: %s", final.ID, final.Status, final.Error)
+		})
+	default:
+		// Server shutdown re-queued the run; leave the point pending for
+		// the terminal accounting (the campaign reports interrupted).
+		campaign.NotePoint(campaign.StatusPending, true, 0)
+		c.transition(i, false, func(st *campaign.PointState) {
+			st.Status, st.Round = campaign.StatusPending, final.Round
+		})
+	}
+}
+
+// --- HTTP handlers ---
+
+func (s *Server) handleCampaignSubmit(w http.ResponseWriter, req *http.Request) {
+	var cs campaign.CampaignSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cs); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad campaign spec: %v", err))
+		return
+	}
+	info, err := s.SubmitCampaign(cs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, info)
+}
+
+func (s *Server) handleCampaignList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Campaigns())
+}
+
+func (s *Server) handleCampaignGet(w http.ResponseWriter, req *http.Request) {
+	info, ok := s.CampaignRunInfo(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown campaign")
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// handleCampaignAggregate serves the phase-diagram artifact of a done
+// campaign in the requested format (?format=json|csv|text, default json).
+func (s *Server) handleCampaignAggregate(w http.ResponseWriter, req *http.Request) {
+	c, ok := s.lookupCampaign(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown campaign")
+		return
+	}
+	tb := c.Aggregate()
+	if tb == nil {
+		info := c.Info()
+		writeError(w, http.StatusConflict, fmt.Sprintf("campaign is %s (%d/%d points done)", info.Status, info.Done, info.Points))
+		return
+	}
+	format := table.Format(req.URL.Query().Get("format"))
+	if format == "" {
+		format = table.JSON
+	}
+	switch format {
+	case table.JSON:
+		w.Header().Set("Content-Type", "application/json")
+	case table.CSV:
+		w.Header().Set("Content-Type", "text/csv")
+	case table.Text, table.Markdown:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown format %q", format))
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	tb.RenderAs(w, format)
+}
+
+// handleCampaignStream tails a campaign's per-point progress events:
+// NDJSON, or SSE frames under Accept: text/event-stream — the same
+// contract as a run's stream, ending with the terminal CampaignInfo.
+func (s *Server) handleCampaignStream(w http.ResponseWriter, req *http.Request) {
+	c, ok := s.lookupCampaign(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown campaign")
+		return
+	}
+	sse := strings.Contains(req.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	// Flush the header frame now: a subscriber must see the stream open
+	// before the first event, which can be arbitrarily far away.
+	if flusher != nil {
+		flusher.Flush()
+	}
+	writeLine := func(blob []byte) {
+		if sse {
+			fmt.Fprintf(w, "data: %s\n\n", blob)
+		} else {
+			w.Write(blob)
+			w.Write([]byte("\n"))
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	ch := c.subscribe()
+	if ch != nil {
+		defer c.unsubscribe(ch)
+	loop:
+		for {
+			select {
+			case blob, open := <-ch:
+				if !open {
+					break loop
+				}
+				writeLine(blob)
+			case <-req.Context().Done():
+				return
+			}
+		}
+	}
+	blob, err := json.Marshal(c.Info())
+	if err != nil {
+		return
+	}
+	writeLine(blob)
+}

@@ -26,6 +26,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/runs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	mux.HandleFunc("POST /v1/runs/{id}/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("POST /v1/campaigns", s.handleCampaignSubmit)
+	mux.HandleFunc("GET /v1/campaigns", s.handleCampaignList)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaignGet)
+	mux.HandleFunc("GET /v1/campaigns/{id}/aggregate", s.handleCampaignAggregate)
+	mux.HandleFunc("GET /v1/campaigns/{id}/stream", s.handleCampaignStream)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /version", handleVersion)
@@ -199,6 +204,11 @@ func (s *Server) handleStream(w http.ResponseWriter, req *http.Request) {
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	// Flush the header frame now: a subscriber must see the stream open
+	// before the first event, which can be arbitrarily far away.
+	if flusher != nil {
+		flusher.Flush()
+	}
 	writeLine := func(blob []byte) {
 		if sse {
 			fmt.Fprintf(w, "data: %s\n\n", blob)

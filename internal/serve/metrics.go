@@ -22,6 +22,13 @@ var (
 	mRunsTerminal = obs.Default.Gauge("rbb_serve_runs",
 		"Runs by scheduler state, refreshed at scrape time.",
 		obs.Label{Key: "state", Value: "terminal"})
+	// Result-cache effectiveness: a hit answers a submission with a stored
+	// summary and no worker time; a miss queues a real run. Campaigns with
+	// seed-replica axes lean on this cache, so its ratio is load-bearing.
+	mCacheHits = obs.Default.Counter("rbb_serve_cache_hits_total",
+		"Submissions answered from the result cache without recomputing.")
+	mCacheMisses = obs.Default.Counter("rbb_serve_cache_misses_total",
+		"Submissions that missed the result cache and queued a run.")
 )
 
 // countRequest bumps the per-route request counter. The get-or-create

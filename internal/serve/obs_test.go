@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
@@ -65,6 +66,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		"rbb_serve_runs",
 		"rbb_http_requests_total",
 		"rbb_http_request_seconds",
+		"rbb_serve_cache_hits_total",
+		"rbb_serve_cache_misses_total",
 	} {
 		if !strings.Contains(text, family) {
 			t.Errorf("metrics exposition missing family %s", family)
@@ -73,6 +76,54 @@ func TestMetricsEndpoint(t *testing.T) {
 	if !strings.Contains(text, `rbb_serve_runs{state="terminal"} 1`) {
 		t.Errorf("terminal gauge not refreshed at scrape:\n%s", text)
 	}
+
+	// Cache effectiveness counters: the run above was a miss; an identical
+	// resubmission is a hit. The registry is process-global, so pin the
+	// deltas rather than absolute values.
+	hits0, misses0 := metricValue(t, text, "rbb_serve_cache_hits_total"), metricValue(t, text, "rbb_serve_cache_misses_total")
+	if misses0 < 1 {
+		t.Errorf("cache miss counter = %v after a fresh submission", misses0)
+	}
+	info2, err := s.Submit(Spec{Seed: 7, N: 64, Rounds: 32, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done := waitDone(t, s, info2.ID); !done.Cached {
+		t.Errorf("identical resubmission was not served from cache")
+	}
+	resp2, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body2, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text2 := string(body2)
+	if hits := metricValue(t, text2, "rbb_serve_cache_hits_total"); hits != hits0+1 {
+		t.Errorf("cache hits = %v after a cached resubmission, want %v", hits, hits0+1)
+	}
+	if misses := metricValue(t, text2, "rbb_serve_cache_misses_total"); misses != misses0 {
+		t.Errorf("cache misses = %v after a cached resubmission, want %v", misses, misses0)
+	}
+}
+
+// metricValue extracts an unlabeled counter's value from a Prometheus
+// text exposition.
+func metricValue(t *testing.T, text, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			var v float64
+			if _, err := fmt.Sscanf(line, name+" %g", &v); err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in exposition", name)
+	return 0
 }
 
 // TestVersionEndpoint: /version serves the build info JSON and healthz

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/spec"
 )
@@ -74,6 +75,11 @@ type Server struct {
 	// with the run retention GC removes, which bounds the cache by the
 	// retained history.
 	cache map[string]cacheEntry
+	// campaigns are the in-memory campaign drivers (see campaigns.go);
+	// their points are ordinary runs and carry all the durability.
+	campaigns     map[string]*campaignRun
+	campaignOrder []string
+	nextCampaign  int
 
 	persistMu sync.Mutex // serializes manifest writes
 
@@ -113,12 +119,13 @@ func New(opts Options) (*Server, error) {
 		logger = slog.New(slog.DiscardHandler)
 	}
 	s := &Server{
-		opts:   opts,
-		now:    time.Now,
-		logger: logger,
-		runs:   make(map[string]*run),
-		cache:  make(map[string]cacheEntry),
-		wake:   make(chan struct{}, opts.Workers),
+		opts:      opts,
+		now:       time.Now,
+		logger:    logger,
+		runs:      make(map[string]*run),
+		cache:     make(map[string]cacheEntry),
+		campaigns: make(map[string]*campaignRun),
+		wake:      make(chan struct{}, opts.Workers),
 	}
 	s.stopCtx, s.stop = context.WithCancel(context.Background())
 	if opts.Dir != "" {
@@ -228,6 +235,9 @@ func (s *Server) Submit(spec Spec) (RunInfo, error) {
 	}
 	s.mu.Lock()
 	if ent, ok := s.cache[specKey(spec)]; ok {
+		if obs.Enabled() {
+			mCacheHits.Inc()
+		}
 		s.nextID++
 		id := fmt.Sprintf("r%06d", s.nextID)
 		r := newRun(id, spec)
@@ -247,6 +257,9 @@ func (s *Server) Submit(spec Spec) (RunInfo, error) {
 	if len(s.queue) >= s.opts.MaxQueue {
 		s.mu.Unlock()
 		return RunInfo{}, errQueueFull
+	}
+	if obs.Enabled() {
+		mCacheMisses.Inc()
 	}
 	s.nextID++
 	id := fmt.Sprintf("r%06d", s.nextID)

@@ -1,10 +1,16 @@
-// Package table renders experiment results as aligned text, Markdown, or
-// CSV. The experiment harness produces one Table per paper claim; the same
-// Table feeds the CLI output and EXPERIMENTS.md.
+// Package table renders experiment results as aligned text, Markdown,
+// CSV, or JSON. The experiment harness produces one Table per paper
+// claim; the same Table feeds the CLI output and EXPERIMENTS.md, and the
+// campaign layer (internal/campaign) uses it as its aggregate artifact
+// format — JSON and CSV round-trip losslessly through ParseCSV and the
+// json.Marshaler/Unmarshaler pair, so an emitted artifact can be read
+// back and compared cell for cell.
 package table
 
 import (
 	"encoding/csv"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -49,6 +55,15 @@ func (t *Table) NumRows() int { return len(t.rows) }
 func (t *Table) Row(i int) []string {
 	out := make([]string, len(t.rows[i]))
 	copy(out, t.rows[i])
+	return out
+}
+
+// Rows returns a deep copy of all data rows.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i := range t.rows {
+		out[i] = t.Row(i)
+	}
 	return out
 }
 
@@ -98,11 +113,33 @@ func FormatFloat(f float64) string {
 	return strconv.FormatFloat(f, 'g', 4, 64)
 }
 
-// RenderText writes a fixed-width aligned table.
+// numericColumn reports whether every non-empty data cell of column i
+// parses as a number. Empty columns count as numeric (the historical
+// right-aligned rendering).
+func (t *Table) numericColumn(i int) bool {
+	for _, row := range t.rows {
+		cell := row[i]
+		if cell == "" {
+			continue
+		}
+		if _, err := strconv.ParseFloat(cell, 64); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// RenderText writes a fixed-width aligned table. Alignment is normalized
+// per column: numeric columns (every data cell parses as a number —
+// mixed-width integers, floats, scientific notation) are right-aligned
+// so magnitudes line up by their units digit, text columns are
+// left-aligned; a column's header follows its cells.
 func (t *Table) RenderText(w io.Writer) error {
 	widths := make([]int, len(t.Columns))
+	numeric := make([]bool, len(t.Columns))
 	for i, c := range t.Columns {
 		widths[i] = len([]rune(c))
+		numeric[i] = t.numericColumn(i)
 	}
 	for _, row := range t.rows {
 		for i, cell := range row {
@@ -122,10 +159,17 @@ func (t *Table) RenderText(w io.Writer) error {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			pad := widths[i] - len([]rune(cell))
-			// Right-align everything; headers too, so columns line up.
-			b.WriteString(strings.Repeat(" ", pad))
-			b.WriteString(cell)
+			pad := strings.Repeat(" ", widths[i]-len([]rune(cell)))
+			if numeric[i] {
+				b.WriteString(pad)
+				b.WriteString(cell)
+			} else if i == len(cells)-1 {
+				// Left-aligned last column: no trailing spaces.
+				b.WriteString(cell)
+			} else {
+				b.WriteString(cell)
+				b.WriteString(pad)
+			}
 		}
 		b.WriteByte('\n')
 		_, err := io.WriteString(w, b.String())
@@ -207,6 +251,79 @@ func (t *Table) RenderCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// ParseCSV decodes a table from the CSV form RenderCSV writes: a header
+// row of column names followed by data rows. Title and notes do not
+// survive a CSV round trip (RenderCSV omits them); columns and cells do,
+// exactly.
+func ParseCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("table: parse csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, errors.New("table: parse csv: no header row")
+	}
+	t := New("", records[0]...)
+	for _, rec := range records[1:] {
+		if len(rec) != len(t.Columns) {
+			return nil, fmt.Errorf("table: parse csv: row arity %d != %d columns", len(rec), len(t.Columns))
+		}
+		row := make([]string, len(rec))
+		copy(row, rec)
+		t.rows = append(t.rows, row)
+	}
+	return t, nil
+}
+
+// tableJSON is the exported JSON shape of a Table. Every cell is a
+// string — the formatted cell, exactly as the other renderers print it —
+// so the JSON artifact is byte-deterministic and round-trips without
+// float re-formatting.
+type tableJSON struct {
+	Title   string     `json:"title,omitempty"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(tableJSON{Title: t.Title, Columns: t.Columns, Rows: rows, Notes: t.Notes})
+}
+
+// UnmarshalJSON implements json.Unmarshaler: the inverse of MarshalJSON,
+// validating row arity against the header.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var tj tableJSON
+	if err := json.Unmarshal(data, &tj); err != nil {
+		return fmt.Errorf("table: parse json: %w", err)
+	}
+	for i, row := range tj.Rows {
+		if len(row) != len(tj.Columns) {
+			return fmt.Errorf("table: parse json: row %d arity %d != %d columns", i, len(row), len(tj.Columns))
+		}
+	}
+	t.Title, t.Columns, t.Notes = tj.Title, tj.Columns, tj.Notes
+	t.rows = tj.Rows
+	if len(t.rows) == 0 {
+		t.rows = nil
+	}
+	return nil
+}
+
+// RenderJSON writes the table as one indented JSON object (title,
+// columns, rows of formatted cells, notes) with a trailing newline.
+func (t *Table) RenderJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
 // Format names an output format for RenderAs.
 type Format string
 
@@ -215,6 +332,7 @@ const (
 	Text     Format = "text"
 	Markdown Format = "markdown"
 	CSV      Format = "csv"
+	JSON     Format = "json"
 )
 
 // RenderAs dispatches on format.
@@ -226,6 +344,8 @@ func (t *Table) RenderAs(w io.Writer, f Format) error {
 		return t.RenderMarkdown(w)
 	case CSV:
 		return t.RenderCSV(w)
+	case JSON:
+		return t.RenderJSON(w)
 	default:
 		return fmt.Errorf("table: unknown format %q", f)
 	}

@@ -1,6 +1,8 @@
 package table
 
 import (
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -133,6 +135,118 @@ func TestRenderAs(t *testing.T) {
 	var sb strings.Builder
 	if err := tb.RenderAs(&sb, Format("bogus")); err == nil {
 		t.Fatal("unknown format accepted")
+	}
+}
+
+// TestRoundTrip: build table → CSV/JSON encode → decode → equal. This is
+// the aggregation artifact contract: internal/campaign writes tables in
+// both forms and the decoded table must carry the identical cells.
+func TestRoundTrip(t *testing.T) {
+	tb := New("phase diagram", "lambda", "n", "window_max", "note col")
+	tb.AddRow(0.5, 65536, 12, "stable")
+	tb.AddRow(0.95, 1048576, 27.25, "near critical, \"quoted\"")
+	tb.AddRow(1e-9, int64(1<<40), -3, "x,y")
+	tb.AddNote("12 points, 3 shown")
+
+	// JSON round trip: full equality, title and notes included.
+	blob, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromJSON Table
+	if err := json.Unmarshal(blob, &fromJSON); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tb, &fromJSON) {
+		t.Errorf("json round trip: got %+v, want %+v", &fromJSON, tb)
+	}
+	// And RenderJSON output decodes to the same table too.
+	var sb strings.Builder
+	if err := tb.RenderJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var fromRender Table
+	if err := json.Unmarshal([]byte(sb.String()), &fromRender); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tb, &fromRender) {
+		t.Errorf("RenderJSON round trip: got %+v, want %+v", &fromRender, tb)
+	}
+
+	// CSV round trip: columns and cells survive exactly (title and notes
+	// are not part of the CSV form).
+	var csvBuf strings.Builder
+	if err := tb.RenderCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	fromCSV, err := ParseCSV(strings.NewReader(csvBuf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tb.Columns, fromCSV.Columns) {
+		t.Errorf("csv columns = %v, want %v", fromCSV.Columns, tb.Columns)
+	}
+	if !reflect.DeepEqual(tb.Rows(), fromCSV.Rows()) {
+		t.Errorf("csv rows = %v, want %v", fromCSV.Rows(), tb.Rows())
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	tb := New("", "a", "b")
+	blob, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tb, &back) {
+		t.Errorf("empty round trip: got %+v, want %+v", &back, tb)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParseCSV(strings.NewReader("")); err == nil {
+		t.Error("ParseCSV accepted empty input")
+	}
+	var tb Table
+	if err := json.Unmarshal([]byte(`{"columns":["a"],"rows":[["1","2"]]}`), &tb); err == nil {
+		t.Error("UnmarshalJSON accepted arity mismatch")
+	}
+}
+
+// TestRenderTextAlignment: numeric columns (mixed-width ints, floats,
+// scientific notation) right-align; text columns left-align.
+func TestRenderTextAlignment(t *testing.T) {
+	tb := New("", "name", "count", "rate")
+	tb.AddRow("short", 7, 0.5)
+	tb.AddRow("a-much-longer-name", 123456, 1.25e-9)
+	var sb strings.Builder
+	if err := tb.RenderText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	header, row1, row2 := lines[0], lines[2], lines[3]
+	// Text column: left-aligned, so both cells start at column 0.
+	if !strings.HasPrefix(header, "name") || !strings.HasPrefix(row1, "short") || !strings.HasPrefix(row2, "a-much-longer-name") {
+		t.Errorf("text column not left-aligned:\n%s", sb.String())
+	}
+	// Numeric columns: right-aligned, so cells of one column end at the
+	// same rune offset in every line.
+	end := func(line, cell string) int { return strings.Index(line, cell) + len(cell) }
+	if end(row1, "7") != end(row2, "123456") || end(header, "count") != end(row1, "7") {
+		t.Errorf("count column not right-aligned:\n%s", sb.String())
+	}
+	if end(row1, "0.5") != end(row2, "1.25e-09") {
+		t.Errorf("rate column not right-aligned:\n%s", sb.String())
+	}
+	// No trailing whitespace on any line (last column is left-aligned
+	// text-free padding).
+	for i, line := range lines {
+		if strings.TrimRight(line, " ") != line {
+			t.Errorf("line %d has trailing whitespace: %q", i, line)
+		}
 	}
 }
 
