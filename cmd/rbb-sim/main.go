@@ -38,6 +38,13 @@
 // state). -load-width pins a wider floor; -checkpoint-compress flate-
 // compresses the per-shard checkpoint sections. Neither affects results.
 //
+// The dense-round inner loop is selectable the same way: -kernel batched
+// (the default) runs the cache-blocked batched kernel, -kernel scalar the
+// historical one-pass loop kept as its equivalence oracle; trajectories
+// are byte-identical under both. -cpuprofile and -memprofile write pprof
+// profiles of the run for kernel tuning — like -trace and -metrics they
+// are side channels that never touch stdout or the results.
+//
 // Examples:
 //
 //	rbb-sim -n 1024 -rounds 10000
@@ -63,6 +70,8 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"syscall"
@@ -135,6 +144,9 @@ func run(args []string, out io.Writer) error {
 		ckptEvery = fs.Int64("checkpoint-every", 0, "rounds between periodic checkpoints (0 = only on signal and at completion; requires -checkpoint)")
 		ckptComp  = fs.Bool("checkpoint-compress", false, "flate-compress the per-shard checkpoint sections (format v2; smaller files, identical state; requires -checkpoint)")
 		loadWidth = fs.String("load-width", "auto", "load storage width floor in bits: auto | 8 | 16 | 32 (auto stores each shard at the narrowest width that fits, widening on demand; original|tetris only; never affects results)")
+		kernelF   = fs.String("kernel", "", "dense-round kernel: batched (cache-blocked bulk draw + radix-partitioned staging + SWAR commit, default) | scalar (the historical one-pass loop); original|tetris only; never affects results")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU pprof profile of the run to this file (telemetry side channel, never affects results)")
+		memProf   = fs.String("memprofile", "", "write a heap pprof profile (after a final GC) to this file on exit (telemetry side channel, never affects results)")
 		resume    = fs.String("resume", "", "resume from a checkpoint file; n, m, seed, shards, quantiles and load widths come from the file")
 		timings   = fs.Bool("timings", false, "add wall-clock fields (ckpt_encode_seconds) to the -json summary; timing is machine noise, so byte-compared summaries must leave it off")
 		jsonOut   = fs.Bool("json", false, "print only the final observer summary as one JSON line (rounds, window max, empty-bin fractions, quantiles, memory) — the format served by rbb-serve")
@@ -184,7 +196,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	pl, err := placementFromFlags(*transp, *procs, *hostsF)
+	pl, err := placementFromFlags(*transp, *procs, *hostsF, *kernelF)
 	if err != nil {
 		return err
 	}
@@ -196,12 +208,21 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	defer stopTelemetry()
+	// Profiles are side channels under the same contract; -resume keeps
+	// -cpuprofile/-memprofile free (like the placement flags) so kernel
+	// tuning can profile a resumed stationary-regime run directly.
+	stopProfiles, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 	if *resume != "" {
 		// The checkpoint is self-describing; flags that would contradict it
 		// are rejected rather than silently ignored. Placement flags
-		// (-transport, -procs, -hosts, workers) stay free: they never change
-		// the law, so any checkpoint resumes under any placement — a run
-		// born on pipes migrates to a TCP mesh across machines mid-flight.
+		// (-transport, -procs, -hosts, -kernel, workers) stay free: they
+		// never change the law, so any checkpoint resumes under any
+		// placement — a run born on pipes migrates to a TCP mesh across
+		// machines mid-flight, or switches dense kernels.
 		fixed := map[string]bool{
 			"n": true, "m": true, "seed": true, "init": true, "process": true,
 			"strategy": true, "lambda": true, "d": true, "shards": true, "quantiles": true,
@@ -442,6 +463,49 @@ func startTelemetry(tracePath, metricsPath string) (func(), error) {
 	}, nil
 }
 
+// startProfiles wires the -cpuprofile and -memprofile side channels under
+// the same contract as startTelemetry: files only, teardown errors on
+// stderr, never a change to stdout or the exit status. The CPU profile
+// covers the whole run from here to teardown; the heap profile is written
+// at teardown after a forced GC so it shows live steady-state memory (the
+// kernel scratch buffers), not garbage awaiting collection.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cf *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cf = f
+	}
+	return func() {
+		if cf != nil {
+			pprof.StopCPUProfile()
+			if err := cf.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "rbb-sim: cpuprofile:", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rbb-sim: memprofile:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "rbb-sim: memprofile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "rbb-sim: memprofile:", err)
+			}
+		}
+	}, nil
+}
+
 // printSummary emits the run summary as one JSON line — the same encoding
 // rbb-serve returns from its result endpoint, so the CI serve-smoke job
 // can diff the two directly.
@@ -586,11 +650,11 @@ func reportInterval(every, rounds int64) int64 {
 // -transport proc (worker processes over pipes); with an explicit
 // multi-process transport it just sets the worker process count.
 // Validation beyond flag folding belongs to spec.NormalizePlacement.
-func placementFromFlags(transport string, procs int, hosts string) (spec.Placement, error) {
+func placementFromFlags(transport string, procs int, hosts, kernel string) (spec.Placement, error) {
 	if procs < 0 {
 		return spec.Placement{}, fmt.Errorf("need procs >= 0, got %d", procs)
 	}
-	pl := spec.Placement{Transport: transport}
+	pl := spec.Placement{Transport: transport, Kernel: kernel}
 	if hosts != "" {
 		for _, h := range strings.Split(hosts, ",") {
 			if h = strings.TrimSpace(h); h != "" {

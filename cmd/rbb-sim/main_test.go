@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -473,6 +475,94 @@ func TestObservabilityNeutral(t *testing.T) {
 		if !strings.Contains(string(prom), family) {
 			t.Errorf("metrics dump missing family %s", family)
 		}
+	}
+}
+
+// TestRunKernels: -kernel is placement only — the default, an explicit
+// batched and a scalar run print byte-identical output; the resolved
+// kernel is visible in the metrics dump as an info gauge; an unknown
+// kernel is rejected by spec validation with the flag's vocabulary.
+func TestRunKernels(t *testing.T) {
+	metricsPath := filepath.Join(t.TempDir(), "metrics.prom")
+	args := []string{"-n", "512", "-rounds", "200", "-shards", "4", "-seed", "5",
+		"-quantiles", "0.5,0.99", "-json"}
+	var def, batched, scalar strings.Builder
+	if err := run(args, &def); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(append([]string(nil), args...), "-kernel", "batched"), &batched); err != nil {
+		t.Fatal(err)
+	}
+	err := run(append(append([]string(nil), args...),
+		"-kernel", "scalar", "-metrics", metricsPath), &scalar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.String() != batched.String() {
+		t.Errorf("-kernel batched changed the summary:\n%s\n%s", def.String(), batched.String())
+	}
+	if def.String() != scalar.String() {
+		t.Errorf("-kernel scalar changed the summary:\n%s\n%s", def.String(), scalar.String())
+	}
+	prom, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(prom), `rbb_kernel_info{kernel="scalar"} 1`) {
+		t.Errorf("metrics dump missing the scalar kernel info gauge:\n%s", prom)
+	}
+
+	var sb strings.Builder
+	err = run([]string{"-n", "64", "-rounds", "1", "-kernel", "simd"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "unknown placement.kernel") {
+		t.Errorf("unknown kernel accepted: %v", err)
+	}
+}
+
+// TestRunProfiles: -cpuprofile and -memprofile write non-empty pprof
+// profiles (the gzip-framed protobuf every pprof consumer expects) and
+// never perturb the summary; an uncreatable profile path fails loudly
+// before the run starts.
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	memPath := filepath.Join(dir, "mem.pprof")
+	args := []string{"-n", "512", "-rounds", "150", "-shards", "4", "-seed", "7", "-json"}
+	var plain, profiled strings.Builder
+	if err := run(args, &plain); err != nil {
+		t.Fatal(err)
+	}
+	err := run(append(append([]string(nil), args...),
+		"-cpuprofile", cpuPath, "-memprofile", memPath), &profiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != profiled.String() {
+		t.Errorf("profiling changed the summary:\n%s\n%s", plain.String(), profiled.String())
+	}
+	for _, p := range []string{cpuPath, memPath} {
+		f, err := os.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			t.Fatalf("%s is not a gzip-framed pprof profile: %v", p, err)
+		}
+		raw, err := io.ReadAll(zr)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if len(raw) == 0 {
+			t.Errorf("%s: profile body is empty", p)
+		}
+		f.Close()
+	}
+
+	var sb strings.Builder
+	bad := filepath.Join(dir, "no-such-dir", "cpu.pprof")
+	if err := run(append(append([]string(nil), args...), "-cpuprofile", bad), &sb); err == nil {
+		t.Error("uncreatable -cpuprofile path accepted")
 	}
 }
 

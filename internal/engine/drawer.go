@@ -31,3 +31,19 @@ func (d *Drawer) Fill(dst []int32, bound int) {
 		dst[i] = int32(src.Uint64n(b))
 	}
 }
+
+// FillHist is Fill fused with a draw histogram: dst[i] receives the i-th
+// draw exactly as Fill would produce it, and hist[(dst[i]>>shift)+1] is
+// incremented per draw. The batched dense kernel radix-partitions the
+// batch right after drawing it; fusing the counting pass into the draw
+// loop saves rereading the whole batch. The consumed draw sequence is
+// identical to Fill's.
+func (d *Drawer) FillHist(dst []int32, bound int, hist []int32, shift uint) {
+	src := d.src
+	b := uint64(bound)
+	for i := range dst {
+		v := int32(src.Uint64n(b))
+		dst[i] = v
+		hist[(v>>shift)+1]++
+	}
+}

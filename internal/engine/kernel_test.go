@@ -1,0 +1,404 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestParseKernel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Kernel
+		ok   bool
+	}{
+		{"", KernelBatched, true},
+		{"batched", KernelBatched, true},
+		{"scalar", KernelScalar, true},
+		{"simd", 0, false},
+		{"Batched", 0, false},
+	} {
+		got, err := ParseKernel(tc.in)
+		if tc.ok != (err == nil) || (tc.ok && got != tc.want) {
+			t.Errorf("ParseKernel(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+	for _, k := range []Kernel{KernelBatched, KernelScalar} {
+		back, err := ParseKernel(k.String())
+		if err != nil || back != k {
+			t.Errorf("ParseKernel(%v.String()) = %v, %v", k, back, err)
+		}
+	}
+	if _, err := New(onePerBin(8), Options{Kernel: Kernel(7)}); err == nil {
+		t.Error("New accepted an undefined kernel")
+	}
+}
+
+// trajectory captures everything a kernel can influence: the full per-round
+// statistics series, every observer callback in order, the consumed RNG
+// position (via the final loads) and the checkpoint-visible end state.
+type trajectory struct {
+	maxLoad  []int32
+	nonEmpty []int
+	emptied  []int
+	visited  [][2]int
+	final    []int32
+	width    Width
+}
+
+// runTraj steps a fresh State rounds times under kernel k and records its
+// trajectory. withVisit exercises the documented fallback: a visit callback
+// observes mid-round order, so those rounds take the scalar loop under
+// either kernel.
+func runTraj(t *testing.T, loads []int32, w Width, k Kernel, rounds int, seed uint64, withOnEmptied, withVisit bool) trajectory {
+	t.Helper()
+	var tr trajectory
+	opts := Options{Width: w, Kernel: k}
+	if withOnEmptied {
+		opts.OnEmptied = func(u int) { tr.emptied = append(tr.emptied, u) }
+	}
+	st, err := New(loads, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var visit func(u, dest int)
+	if withVisit {
+		visit = func(u, dest int) { tr.visited = append(tr.visited, [2]int{u, dest}) }
+	}
+	d := NewDrawer(rng.New(seed))
+	for r := 0; r < rounds; r++ {
+		st.ReleaseUniform(d, visit)
+		st.Commit()
+		tr.maxLoad = append(tr.maxLoad, st.MaxLoad())
+		tr.nonEmpty = append(tr.nonEmpty, st.NonEmptyBins())
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatalf("kernel %v: %v", k, err)
+	}
+	tr.final = st.LoadsCopy()
+	tr.width = st.Width()
+	return tr
+}
+
+func constLoads(n int, v int32) []int32 {
+	loads := make([]int32, n)
+	for i := range loads {
+		loads[i] = v
+	}
+	return loads
+}
+
+// TestKernelEquivalence pins the tentpole contract: the batched kernel and
+// the historical scalar loop produce byte-identical trajectories — same
+// per-round statistics, same observer callbacks in the same order, same
+// final loads and same widening decisions — across widths, occupancy
+// regimes (including the sparse↔dense crossings) and observer variants.
+func TestKernelEquivalence(t *testing.T) {
+	configs := []struct {
+		name   string
+		loads  []int32
+		rounds int
+	}{
+		// Dense from round 0; n spans several Width8 radix segments is not
+		// feasible in a unit test, but n > 8 words exercises the SWAR body.
+		{"onePerBin_n4096", onePerBin(4096), 300},
+		// Sparse start, crosses into the dense regime as the balls spread.
+		{"allInOne_n1024", allInOne(1024, 1024), 3000},
+		// Stationary mid-occupancy mixture.
+		{"uniform_n2048", uniformRandom(2048, 4096, rng.New(7)), 400},
+		// Loads near the uint8 ceiling: stochastic maxima cross 255 while
+		// dense, forcing the mid-commit 8→16 widen-resume in both kernels.
+		{"widen_n512", constLoads(512, 250), 200},
+		// Unaligned tail: n ∤ 8 exercises the scalar head/tail of the SWAR
+		// passes.
+		{"tail_n1013", onePerBin(1013), 300},
+	}
+	for _, cfg := range configs {
+		for _, w := range []Width{WidthAuto, Width8, Width16, Width32} {
+			for _, variant := range []string{"plain", "onEmptied", "visit"} {
+				name := fmt.Sprintf("%s/w%d/%s", cfg.name, w, variant)
+				t.Run(name, func(t *testing.T) {
+					const seed = 42
+					oe, vis := variant == "onEmptied", variant == "visit"
+					a := runTraj(t, cfg.loads, w, KernelBatched, cfg.rounds, seed, oe, vis)
+					b := runTraj(t, cfg.loads, w, KernelScalar, cfg.rounds, seed, oe, vis)
+					if !reflect.DeepEqual(a, b) {
+						t.Fatalf("kernels diverged:\n batched: max=%v.. nonEmpty=%v.. width=%v\n scalar:  max=%v.. nonEmpty=%v.. width=%v",
+							head(a.maxLoad), a.nonEmpty[:min(4, len(a.nonEmpty))], a.width,
+							head(b.maxLoad), b.nonEmpty[:min(4, len(b.nonEmpty))], b.width)
+					}
+				})
+			}
+		}
+	}
+}
+
+func head(s []int32) []int32 { return s[:min(4, len(s))] }
+
+// FuzzKernelEquivalence drives randomized (config, width, observer, rounds)
+// tuples through both kernels and requires identical trajectories. The
+// scalar loop is the oracle; any divergence is a kernel bug by definition.
+func FuzzKernelEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint16(64), uint16(128), uint8(50), uint8(0))
+	f.Add(uint64(2), uint16(500), uint16(500), uint8(80), uint8(1))
+	f.Add(uint64(3), uint16(9), uint16(2000), uint8(40), uint8(6))
+	f.Add(uint64(4), uint16(1013), uint16(1013), uint8(60), uint8(16))
+	f.Add(uint64(5), uint16(256), uint16(60000), uint8(30), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, n16, m16 uint16, rounds8, flags uint8) {
+		n := int(n16)%1024 + 1
+		m := int(m16)
+		rounds := int(rounds8)%120 + 1
+		w := []Width{WidthAuto, Width8, Width16, Width32}[flags&3]
+		withOnEmptied := flags&4 != 0
+		withVisit := flags&8 != 0
+		var loads []int32
+		if flags&16 != 0 {
+			loads = allInOne(n, m)
+		} else {
+			loads = uniformRandom(n, m, rng.New(seed^0x9e3779b97f4a7c15))
+		}
+		a := runTraj(t, loads, w, KernelBatched, rounds, seed, withOnEmptied, withVisit)
+		b := runTraj(t, loads, w, KernelScalar, rounds, seed, withOnEmptied, withVisit)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("kernels diverged: n=%d m=%d rounds=%d w=%d flags=%#x", n, m, rounds, w, flags)
+		}
+	})
+}
+
+// narrowSegments shrinks the partition policy so the radix-partitioned
+// staging path (production: states above 4·4 MiB of staging area) runs at
+// unit-test sizes, restoring the real policy when the test ends.
+func narrowSegments(t *testing.T) {
+	t.Helper()
+	shift, dm := kernelSegShift, kernelDirectSegMax
+	t.Cleanup(func() { kernelSegShift, kernelDirectSegMax = shift, dm })
+	kernelSegShift = func(Width) uint { return 7 }
+	kernelDirectSegMax = 1
+}
+
+// TestKernelEquivalencePartitioned reruns the equivalence pin with the
+// partition policy shrunk so every dense round takes the radix-partitioned
+// staging path — the production path for states above 16 MiB of staging
+// area, unreachable at unit-test sizes under the real policy.
+func TestKernelEquivalencePartitioned(t *testing.T) {
+	narrowSegments(t)
+	const seed = 23
+	for _, cfg := range []struct {
+		name   string
+		loads  []int32
+		rounds int
+	}{
+		{"onePerBin_n4096", onePerBin(4096), 300},
+		{"tail_n1013", onePerBin(1013), 300},
+		{"widen_n512", constLoads(512, 250), 200},
+	} {
+		for _, variant := range []string{"plain", "onEmptied"} {
+			t.Run(cfg.name+"/"+variant, func(t *testing.T) {
+				oe := variant == "onEmptied"
+				a := runTraj(t, cfg.loads, Width8, KernelBatched, cfg.rounds, seed, oe, false)
+				b := runTraj(t, cfg.loads, Width8, KernelScalar, cfg.rounds, seed, oe, false)
+				if !reflect.DeepEqual(a, b) {
+					t.Fatal("kernels diverged on the partitioned staging path")
+				}
+			})
+		}
+	}
+
+	// The partitioned path is allocation-free once warm too (dests2 and
+	// bucketOff live on the State).
+	st, err := New(onePerBin(1<<12), Options{Kernel: KernelBatched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDrawer(rng.New(5))
+	for i := 0; i < 16; i++ {
+		st.ReleaseUniform(d, nil)
+		st.Commit()
+	}
+	if st.ScratchBytes() == 0 {
+		t.Fatal("partitioned rounds left no scratch on the State")
+	}
+	allocs := testing.AllocsPerRun(64, func() {
+		st.ReleaseUniform(d, nil)
+		st.Commit()
+	})
+	if allocs != 0 {
+		t.Errorf("partitioned dense round allocates %v times per round, want 0", allocs)
+	}
+}
+
+// TestStageDenseOverflow pins the staging widen-resume contract directly:
+// the index whose staged count would overflow is returned with nothing
+// staged for it, and the replay from that index on the widened array
+// completes with the exact total.
+func TestStageDenseOverflow(t *testing.T) {
+	arr := make([]uint8, 8)
+	seq := make([]int32, 300)
+	for i := range seq {
+		seq[i] = 5
+	}
+	ov := stageDenseW(arr, math.MaxUint8, seq, 0)
+	if ov != 255 {
+		t.Fatalf("overflow index %d, want 255", ov)
+	}
+	if arr[5] != 255 {
+		t.Fatalf("arr[5] = %d at overflow, want 255", arr[5])
+	}
+	// The caller widens (arr values carry over) and resumes at ov.
+	arr16 := make([]uint16, 8)
+	for i, v := range arr {
+		arr16[i] = uint16(v)
+	}
+	if ov2 := stageDenseW(arr16, math.MaxUint16, seq, ov); ov2 != -1 {
+		t.Fatalf("resumed staging overflowed again at %d", ov2)
+	}
+	if arr16[5] != 300 {
+		t.Fatalf("arr16[5] = %d after resume, want 300", arr16[5])
+	}
+}
+
+// TestKernelReleaseEach pins the SWAR ReleaseEach fast path (Width8, no
+// observers) against the generic loop.
+func TestKernelReleaseEach(t *testing.T) {
+	loads := uniformRandom(1013, 1500, rng.New(11))
+	run := func(k Kernel) ([]int32, int) {
+		st, err := New(loads, Options{Width: Width8, Kernel: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		d := NewDrawer(rng.New(3))
+		for r := 0; r < 50; r++ {
+			// Alternate ReleaseEach (self-loop decrement) with real rounds so
+			// the occupancy keeps changing.
+			total += st.ReleaseEach(nil)
+			st.Commit()
+			st.ReleaseUniform(d, nil)
+			st.Commit()
+		}
+		if err := st.CheckInvariants(); err != nil {
+			t.Fatalf("kernel %v: %v", k, err)
+		}
+		return st.LoadsCopy(), total
+	}
+	la, ta := run(KernelBatched)
+	lb, tb := run(KernelScalar)
+	if ta != tb || !reflect.DeepEqual(la, lb) {
+		t.Fatalf("ReleaseEach diverged: released %d vs %d", ta, tb)
+	}
+}
+
+// TestSWARPrimitives checks the word-parallel building blocks lane by lane
+// against their scalar definitions on random words.
+func TestSWARPrimitives(t *testing.T) {
+	r := rng.New(99)
+	words := []uint64{0, ^uint64(0), swarH, swarL, 0x0100ff00017f80ff}
+	for i := 0; i < 2000; i++ {
+		words = append(words, r.Uint64n(^uint64(0)))
+	}
+	for _, x := range words[:200] {
+		var wantZero uint64
+		for lane := 0; lane < 8; lane++ {
+			if (x>>(8*lane))&0xff == 0 {
+				wantZero |= 0x80 << (8 * lane)
+			}
+		}
+		if got := zeroMask8(x); got != wantZero {
+			t.Fatalf("zeroMask8(%#016x) = %#016x, want %#016x", x, got, wantZero)
+		}
+	}
+	for i := 0; i+1 < len(words); i += 2 {
+		x, y := words[i], words[i+1]
+		var want uint64
+		for lane := 0; lane < 8; lane++ {
+			a, b := (x>>(8*lane))&0xff, (y>>(8*lane))&0xff
+			want |= max(a, b) << (8 * lane)
+		}
+		if got := maxU8x8(x, y); got != want {
+			t.Fatalf("maxU8x8(%#016x, %#016x) = %#016x, want %#016x", x, y, got, want)
+		}
+	}
+}
+
+// TestDenseRoundAllocs: once the scratch is warm, dense rounds allocate
+// nothing under either kernel — the batched kernel's destination, partition
+// and segment buffers all live on the State.
+func TestDenseRoundAllocs(t *testing.T) {
+	for _, k := range []Kernel{KernelBatched, KernelScalar} {
+		t.Run(k.String(), func(t *testing.T) {
+			st, err := New(onePerBin(1<<14), Options{Kernel: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := NewDrawer(rng.New(5))
+			for i := 0; i < 16; i++ {
+				st.ReleaseUniform(d, nil)
+				st.Commit()
+			}
+			allocs := testing.AllocsPerRun(64, func() {
+				st.ReleaseUniform(d, nil)
+				st.Commit()
+			})
+			if allocs != 0 {
+				t.Errorf("dense round allocates %v times per round, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestSparseRoundAllocs: the sparse path stays allocation-free too. With
+// m = n/8 the non-empty count can never reach the dense threshold (bins
+// with balls ≤ m < n/3), so every measured round is sparse by construction.
+func TestSparseRoundAllocs(t *testing.T) {
+	for _, k := range []Kernel{KernelBatched, KernelScalar} {
+		t.Run(k.String(), func(t *testing.T) {
+			n := 1 << 16
+			st, err := New(uniformRandom(n, n/8, rng.New(2)), Options{Kernel: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := NewDrawer(rng.New(5))
+			for i := 0; i < 200; i++ {
+				st.ReleaseUniform(d, nil)
+				st.Commit()
+			}
+			allocs := testing.AllocsPerRun(64, func() {
+				st.ReleaseUniform(d, nil)
+				st.Commit()
+			})
+			if allocs != 0 {
+				t.Errorf("sparse round allocates %v times per round, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestScratchBytes: LoadBytes stays a pure function of (n, width) — it
+// feeds byte-compared summaries — while the kernel scratch is reported
+// separately and only by ScratchBytes.
+func TestScratchBytes(t *testing.T) {
+	loads := onePerBin(1 << 12)
+	mk := func(k Kernel) *State {
+		st, err := New(loads, Options{Kernel: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := NewDrawer(rng.New(1))
+		for i := 0; i < 4; i++ {
+			st.ReleaseUniform(d, nil)
+			st.Commit()
+		}
+		return st
+	}
+	batched, scalar := mk(KernelBatched), mk(KernelScalar)
+	if batched.LoadBytes() != scalar.LoadBytes() {
+		t.Errorf("LoadBytes depends on the kernel: %d vs %d", batched.LoadBytes(), scalar.LoadBytes())
+	}
+	if batched.ScratchBytes() <= scalar.ScratchBytes() {
+		t.Errorf("batched scratch %d not above scalar scratch %d after dense rounds",
+			batched.ScratchBytes(), scalar.ScratchBytes())
+	}
+}

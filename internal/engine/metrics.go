@@ -15,6 +15,32 @@ var (
 		obs.Label{Key: "to", Value: "32"})
 )
 
+// Kernel info gauge: the selected dense-round kernel's series reads 1, so
+// metrics scrapes and traces record which kernel a run executed. Set at
+// State construction; both kernels may read 1 in a process that mixes them
+// (e.g. the equivalence tests).
+var (
+	mKernelBatched = obs.Default.Gauge("rbb_kernel_info",
+		"Dense-round kernel in use (info gauge: selected kernel reads 1).",
+		obs.Label{Key: "kernel", Value: "batched"})
+	mKernelScalar = obs.Default.Gauge("rbb_kernel_info",
+		"Dense-round kernel in use (info gauge: selected kernel reads 1).",
+		obs.Label{Key: "kernel", Value: "scalar"})
+)
+
+// noteKernel records the kernel a new State will run.
+func noteKernel(k Kernel) {
+	if !obs.Enabled() {
+		return
+	}
+	switch k {
+	case KernelScalar:
+		mKernelScalar.Set(1)
+	default:
+		mKernelBatched.Set(1)
+	}
+}
+
 // noteWiden records one ratchet to width w.
 func noteWiden(w Width) {
 	if !obs.Enabled() {

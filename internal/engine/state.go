@@ -167,6 +167,9 @@ type Options struct {
 	// fits). The trajectory is independent of it; only memory and the
 	// recorded snapshot width depend on it.
 	Width Width
+	// Kernel selects the dense-round implementation (default KernelBatched).
+	// The trajectory is independent of it; only speed depends on it.
+	Kernel Kernel
 }
 
 // State is a load vector with an incrementally maintained non-empty-bin
@@ -192,15 +195,18 @@ type State struct {
 	minWidth  Width   // Options.Width floor (never narrower than this)
 	loadsView []int32 // lazily allocated Loads() view for narrow widths
 
-	touched []int32 // bins with staged arrivals (host deposits and sparse rounds)
-	zeroed  []int32 // bins released to zero this round (only if onEmptied != nil)
-	bins    []int32 // scratch: released bins of a sparse ReleaseUniform
-	dests   []int32 // scratch: batched destinations of a sparse ReleaseUniform
+	touched   []int32 // bins with staged arrivals (host deposits and sparse rounds)
+	zeroed    []int32 // bins released to zero this round (only if onEmptied != nil)
+	bins      []int32 // scratch: released bins of a sparse ReleaseUniform
+	dests     []int32 // scratch: batched destinations of a ReleaseUniform
+	dests2    []int32 // scratch: segment-partitioned destinations (batched dense kernel)
+	bucketOff []int32 // scratch: radix bucket cursors (batched dense kernel)
 
 	stepMax   int32 // max post-release load seen this round (sparse rounds)
 	sparse    bool  // mode of the in-flight round
 	inRound   bool
 	workStale bool // worklist bits out of date (rebuilt lazily after dense rounds)
+	kernel    Kernel
 	onEmptied func(u int)
 }
 
@@ -214,12 +220,17 @@ func New(loads []int32, opts Options) (*State, error) {
 	if !opts.Width.valid() {
 		return nil, fmt.Errorf("engine: invalid load width %d", uint8(opts.Width))
 	}
+	if !opts.Kernel.valid() {
+		return nil, fmt.Errorf("engine: invalid kernel %d", uint8(opts.Kernel))
+	}
 	s := &State{
 		n:         n,
 		work:      bitset.New(n),
 		minWidth:  opts.Width,
+		kernel:    opts.Kernel,
 		onEmptied: opts.OnEmptied,
 	}
+	noteKernel(opts.Kernel)
 	if err := s.Reload(loads); err != nil {
 		return nil, err
 	}
@@ -354,10 +365,24 @@ func (s *State) WidenTo(w Width) error {
 // Width returns the current storage width (Width8, Width16 or Width32).
 func (s *State) Width() Width { return s.width }
 
+// Kernel returns the dense-round kernel this State runs.
+func (s *State) Kernel() Kernel { return s.kernel }
+
 // LoadBytes returns the resident bytes of the load vector and the arrival
-// staging area at the current width.
+// staging area at the current width. It is deliberately a pure function of
+// (n, width) — it feeds byte-compared run summaries, and the kernel choice
+// is placement-plane — so kernel scratch is reported by ScratchBytes
+// instead.
 func (s *State) LoadBytes() int64 {
 	return int64(s.n) * 2 * int64(uint8(s.width)/8)
+}
+
+// ScratchBytes returns the resident bytes of the per-round scratch buffers
+// (released bins, drawn destinations, the batched kernel's partition buffer
+// and bucket cursors). Zero until the first round that needs them; bounded
+// by ~12·n bytes for the batched dense kernel.
+func (s *State) ScratchBytes() int64 {
+	return int64(cap(s.bins)+cap(s.dests)+cap(s.dests2)+cap(s.bucketOff)) * 4
 }
 
 // N returns the number of bins.
@@ -666,6 +691,11 @@ func rebuildWorkW[L loadElem](s *State, load []L) {
 func (s *State) ReleaseEach(visit func(u int)) int {
 	s.beginRound()
 	if !s.sparse {
+		if s.kernel == KernelBatched && s.width == Width8 && visit == nil && s.onEmptied == nil {
+			// Nothing observes per-bin order: the SWAR decrement is the
+			// whole dense release (worklist and stats rebuild at Commit).
+			return decDense8SWAR(s.load8)
+		}
 		switch s.width {
 		case Width8:
 			return releaseEachDenseW(s, s.load8, visit)
@@ -744,6 +774,11 @@ func releaseEachDenseW[L loadElem](s *State, load []L, visit func(u int)) int {
 func (s *State) ReleaseUniform(d *Drawer, visit func(u, dest int)) int {
 	s.beginRound()
 	if !s.sparse {
+		if s.kernel == KernelBatched && visit == nil {
+			// A visit callback observes the scalar loop's decrement/draw/
+			// stage interleaving, so only nil-visit rounds may batch.
+			return s.releaseUniformDenseBatched(d)
+		}
 		return s.releaseUniformDense(d, visit)
 	}
 	// Pass 1: drain the worklist, collecting released bins.
@@ -1001,7 +1036,11 @@ func (s *State) commitDense() {
 		var ov int
 		switch s.width {
 		case Width8:
-			max, empty, ov = commitDenseW(s.load8, s.arr8, math.MaxUint8, start, max, empty)
+			if s.kernel == KernelBatched {
+				max, empty, ov = commitDense8SWAR(s.load8, s.arr8, start, max, empty)
+			} else {
+				max, empty, ov = commitDenseW(s.load8, s.arr8, math.MaxUint8, start, max, empty)
+			}
 		case Width16:
 			max, empty, ov = commitDenseW(s.load16, s.arr16, math.MaxUint16, start, max, empty)
 		default:

@@ -75,6 +75,33 @@ func TestSubmitPlacementCacheShared(t *testing.T) {
 	}
 }
 
+// TestSubmitKernelPlacement: the dense-kernel knob rides the placement
+// plane end to end — a scalar-kernel submission runs to the byte-identical
+// summary of the in-process oracle, and a second submission differing only
+// in kernel shares the first's result-cache entry (the key covers the law,
+// not how the dense loop was executed).
+func TestSubmitKernelPlacement(t *testing.T) {
+	s, hs := newTestServer(t, Options{Workers: 1, RunWorkers: 1})
+	base := Spec{Seed: 91, N: 256, Rounds: 80, Shards: 2, Quantiles: []float64{0.9}}
+	first := submit(t, hs, base)
+	ref := waitStatus(t, s, first.ID, StatusDone)
+	want := refSummary(t, base)
+	if ref.Summary == nil || !reflect.DeepEqual(*ref.Summary, want) {
+		t.Fatalf("batched-default run diverged from the oracle:\n got %+v\nwant %+v", ref.Summary, want)
+	}
+
+	placed := base
+	placed.Placement = spec.Placement{Kernel: "scalar"}
+	second := submit(t, hs, placed)
+	got := waitStatus(t, s, second.ID, StatusDone)
+	if got.Summary == nil || !reflect.DeepEqual(*got.Summary, *ref.Summary) {
+		t.Fatalf("placement.kernel changed the cached result:\n got %+v\nwant %+v", got.Summary, ref.Summary)
+	}
+	if got.Spec.Placement.Kernel != "scalar" {
+		t.Fatalf("kernel did not normalize into the stored spec: %+v", got.Spec.Placement)
+	}
+}
+
 // TestSubmitLegacyFlatTransport pins the compat shim: the exact flat JSON
 // body every pre-placement client sent (PR 4–7 era, with the top-level
 // "transport" field) is still accepted and still runs.

@@ -418,7 +418,7 @@ func TestSpecNormalizeDefaults(t *testing.T) {
 	want := Spec{
 		Version: 1, Process: ProcessRBB, Seed: 1, N: 100, M: 100, Rounds: 1000,
 		Shards: 1, Init: "one-per-bin", CheckpointEvery: 250, StreamEvery: 3,
-		Placement: spec.Placement{Transport: spec.TransportPool},
+		Placement: spec.Placement{Transport: spec.TransportPool, Kernel: "batched"},
 	}
 	if !reflect.DeepEqual(sp, want) {
 		t.Fatalf("normalized:\n got %+v\nwant %+v", sp, want)

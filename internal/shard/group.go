@@ -81,15 +81,23 @@ func PartitionStart(n, s, i int) int {
 	return r*(q+1) + (i-r)*q
 }
 
+// GroupOptions carries the per-shard engine configuration into a group's
+// states: the OnEmptied callback (invoked with global bin indices), the
+// storage-width floor, and the dense-round kernel. Width and Kernel are
+// trajectory-neutral; the zero value is the default configuration.
+type GroupOptions struct {
+	OnEmptied func(u int)
+	Width     engine.Width
+	Kernel    engine.Kernel
+}
+
 // NewGroup builds fresh shard states for shards [lo, hi) of a run over n
 // bins split into s shards, copying the owned bins from loads (which must
 // hold exactly the bins of those shards, i.e. the global range
 // [PartitionStart(lo), PartitionStart(hi))). Shard i draws from
-// rng.NewStream(seed, i). onEmptied, if non-nil, is invoked with global
-// bin indices as documented on Options.OnEmptied; width is the per-shard
-// storage floor (Options.Width). The group takes ownership of runner and
-// closes it with Close.
-func NewGroup(n, s, lo, hi int, loads []int32, seed uint64, runner transport.Runner, onEmptied func(u int), width engine.Width) (*Group, error) {
+// rng.NewStream(seed, i). The group takes ownership of runner and closes it
+// with Close.
+func NewGroup(n, s, lo, hi int, loads []int32, seed uint64, runner transport.Runner, gopts GroupOptions) (*Group, error) {
 	g, err := newGroupFrame(n, s, lo, hi, runner)
 	if err != nil {
 		return nil, err
@@ -100,7 +108,7 @@ func NewGroup(n, s, lo, hi int, loads []int32, seed uint64, runner transport.Run
 	off := 0
 	for i := range g.parts {
 		sh := &g.parts[i]
-		st, err := newPartState(loads[off:off+sh.size], sh.base, onEmptied, width)
+		st, err := newPartState(loads[off:off+sh.size], sh.base, gopts)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", lo+i, err)
 		}
@@ -115,13 +123,13 @@ func NewGroup(n, s, lo, hi int, loads []int32, seed uint64, runner transport.Run
 // NewGroupFromSnapshot builds the kernel for shards [lo, hi) from a
 // whole-run snapshot, restoring each owned shard's loads, worklist, rng
 // stream and storage width with the same structural cross-checks as
-// RestoreEngine (width is the restore-side floor; a shard never restores
-// narrower than its snapshot recorded, so resumed runs keep the ratchet).
-// The proc transport uses it — with the serialized checkpoint as the join
-// payload — to migrate shard ranges into worker processes. Only the
-// snapshot entries of shards [lo, hi) are read, so a sub-range caller may
-// hand in a sparsely populated Shards slice.
-func NewGroupFromSnapshot(snap *EngineSnapshot, lo, hi int, runner transport.Runner, onEmptied func(u int), width engine.Width) (*Group, error) {
+// RestoreEngine (gopts.Width is the restore-side floor; a shard never
+// restores narrower than its snapshot recorded, so resumed runs keep the
+// ratchet). The proc transport uses it — with the serialized checkpoint as
+// the join payload — to migrate shard ranges into worker processes. Only
+// the snapshot entries of shards [lo, hi) are read, so a sub-range caller
+// may hand in a sparsely populated Shards slice.
+func NewGroupFromSnapshot(snap *EngineSnapshot, lo, hi int, runner transport.Runner, gopts GroupOptions) (*Group, error) {
 	if snap == nil {
 		return nil, errors.New("shard: NewGroupFromSnapshot with nil snapshot")
 	}
@@ -142,7 +150,7 @@ func NewGroupFromSnapshot(snap *EngineSnapshot, lo, hi int, runner transport.Run
 		if sh.size != len(ss.Loads) {
 			return nil, fmt.Errorf("shard: snapshot shard %d holds %d bins, partition wants %d", lo+i, len(ss.Loads), sh.size)
 		}
-		st, err := newPartState(ss.Loads, sh.base, onEmptied, width)
+		st, err := newPartState(ss.Loads, sh.base, gopts)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", lo+i, err)
 		}
@@ -209,9 +217,9 @@ func newGroupFrame(n, s, lo, hi int, runner transport.Runner) (*Group, error) {
 
 // newPartState builds one shard's engine.State, rebasing the OnEmptied
 // callback to global bin indices.
-func newPartState(loads []int32, base int, onEmptied func(u int), width engine.Width) (*engine.State, error) {
-	eopts := engine.Options{Width: width}
-	if onEmptied != nil {
+func newPartState(loads []int32, base int, gopts GroupOptions) (*engine.State, error) {
+	eopts := engine.Options{Width: gopts.Width, Kernel: gopts.Kernel}
+	if onEmptied := gopts.OnEmptied; onEmptied != nil {
 		eopts.OnEmptied = func(u int) { onEmptied(base + u) }
 	}
 	return engine.New(loads, eopts)
@@ -429,6 +437,18 @@ func (g *Group) LoadBytes() int64 {
 	var t int64
 	for i := range g.parts {
 		t += g.parts[i].state.LoadBytes()
+	}
+	return t
+}
+
+// ScratchBytes returns the resident bytes of the owned shards' per-round
+// scratch buffers (see engine.State.ScratchBytes). Kernel- and
+// history-dependent, so it is reported alongside — never folded into —
+// LoadBytes.
+func (g *Group) ScratchBytes() int64 {
+	var t int64
+	for i := range g.parts {
+		t += g.parts[i].state.ScratchBytes()
 	}
 	return t
 }

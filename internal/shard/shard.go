@@ -154,6 +154,15 @@ type Options struct {
 	// on demand). The trajectory is independent of it; only memory and the
 	// recorded snapshot widths depend on it.
 	Width engine.Width
+	// Kernel selects the dense-round implementation of every shard's state
+	// (default engine.KernelBatched). The trajectory is independent of it;
+	// only speed depends on it.
+	Kernel engine.Kernel
+}
+
+// groupOptions lowers the engine-facing options into the group layer.
+func (o Options) groupOptions() GroupOptions {
+	return GroupOptions{OnEmptied: o.OnEmptied, Width: o.Width, Kernel: o.Kernel}
 }
 
 // resolve clamps the shard and worker counts against n.
@@ -213,7 +222,7 @@ func NewEngine(loads []int32, seed uint64, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	g, err := NewGroup(n, s, 0, s, loads, seed, runner, opts.OnEmptied, opts.Width)
+	g, err := NewGroup(n, s, 0, s, loads, seed, runner, opts.groupOptions())
 	if err != nil {
 		runner.Close()
 		return nil, err
@@ -354,7 +363,7 @@ func RestoreEngine(snap *EngineSnapshot, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	g, err := NewGroupFromSnapshot(snap, 0, s, runner, opts.OnEmptied, opts.Width)
+	g, err := NewGroupFromSnapshot(snap, 0, s, runner, opts.groupOptions())
 	if err != nil {
 		runner.Close()
 		return nil, err
@@ -420,6 +429,13 @@ func (e *Engine) Sum() int64 { return e.g.Sum() }
 // scratch are excluded). Deterministic for a given trajectory, so it is
 // safe to report in byte-compared summaries.
 func (e *Engine) LoadBytes() int64 { return e.g.LoadBytes() }
+
+// ScratchBytes returns the resident bytes of the shards' per-round scratch
+// buffers (destination staging, the batched kernel's partition buffer and
+// bucket cursors). Unlike LoadBytes it depends on the kernel and on how far
+// the run has progressed, so it must never enter byte-compared summaries —
+// it exists for memory accounting and the zero-alloc steady-state tests.
+func (e *Engine) ScratchBytes() int64 { return e.g.ScratchBytes() }
 
 // CheckInvariants verifies every shard's internal invariants, the
 // partition bookkeeping and the aggregated statistics.

@@ -115,8 +115,9 @@ func TestWorkerInvariance(t *testing.T) {
 
 // TestTransportInvariance is the in-process half of the transport
 // contract: with (seed, n, S) fixed, spawn-per-phase and the persistent
-// pool (at several worker counts) produce byte-identical trajectories.
-// The cross-process half lives in transport/proc's matrix test.
+// pool (at several worker counts, under both dense kernels) produce
+// byte-identical trajectories. The cross-process half lives in
+// transport/proc's matrix test.
 func TestTransportInvariance(t *testing.T) {
 	const (
 		n      = 1 << 13
@@ -130,6 +131,8 @@ func TestTransportInvariance(t *testing.T) {
 		{Shards: shards, Workers: 1, Transport: TransportPool},
 		{Shards: shards, Workers: 4, Transport: TransportPool},
 		{Shards: shards, Workers: shards, Transport: TransportPool},
+		{Shards: shards, Workers: 4, Transport: TransportPool, Kernel: engine.KernelScalar},
+		{Shards: shards, Workers: 4, Transport: TransportSpawn, Kernel: engine.KernelScalar},
 	}
 	var ref []int32
 	var refMax int32

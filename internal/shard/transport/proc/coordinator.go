@@ -70,6 +70,7 @@ func New(snap *checkpoint.Snapshot, opts Options) (*Engine, error) {
 	co, err := wire.NewCoordinator(snap, links, wire.Config{
 		Workers:   opts.Workers,
 		Width:     opts.Width,
+		Kernel:    opts.Kernel,
 		Rule:      opts.Rule,
 		Transport: "proc",
 	})

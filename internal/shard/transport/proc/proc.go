@@ -90,6 +90,9 @@ type Options struct {
 	// at the narrowest width its loads fit, widening on demand). The
 	// trajectory is independent of it.
 	Width engine.Width
+	// Kernel is the dense-round kernel handed to every worker (default
+	// engine.KernelBatched). The trajectory is independent of it.
+	Kernel engine.Kernel
 	// Rule is the arrival rule the workers execute each round (zero
 	// value: relaunch, the repeated balls-into-bins law). It is encoded
 	// into the join payload, so every process kind crosses process

@@ -63,6 +63,8 @@ type Options struct {
 	// Width is the per-shard load storage width floor handed to every
 	// worker.
 	Width engine.Width
+	// Kernel is the dense-round kernel handed to every worker.
+	Kernel engine.Kernel
 	// Rule is the arrival rule the workers execute each round (zero
 	// value: relaunch).
 	Rule shard.ArrivalRule
@@ -155,6 +157,7 @@ func New(snap *checkpoint.Snapshot, opts Options) (*Engine, error) {
 	co, err := wire.NewCoordinator(snap, links, wire.Config{
 		Workers:   opts.Workers,
 		Width:     opts.Width,
+		Kernel:    opts.Kernel,
 		Rule:      opts.Rule,
 		Mesh:      opts.Mesh,
 		Transport: transport,

@@ -66,6 +66,9 @@ type Config struct {
 	// Width is the per-shard load storage width floor handed to every
 	// worker. The trajectory is independent of it.
 	Width engine.Width
+	// Kernel is the dense-round kernel handed to every worker. The
+	// trajectory is independent of it.
+	Kernel engine.Kernel
 	// Rule is the arrival rule every worker executes (zero value:
 	// relaunch, the repeated balls-into-bins law).
 	Rule shard.ArrivalRule
@@ -144,6 +147,11 @@ func (co *Coordinator) join(snap *checkpoint.Snapshot) error {
 	default:
 		return fmt.Errorf("wire: invalid load width %d", co.cfg.Width)
 	}
+	switch co.cfg.Kernel {
+	case engine.KernelBatched, engine.KernelScalar:
+	default:
+		return fmt.Errorf("wire: invalid kernel %d", co.cfg.Kernel)
+	}
 	rule, err := co.cfg.Rule.Normalize()
 	if err != nil {
 		return err
@@ -196,6 +204,7 @@ func (co *Coordinator) join(snap *checkpoint.Snapshot) error {
 		c.wU32(uint32(l.hi))
 		c.wU32(uint32(co.cfg.Workers))
 		c.wByte(uint8(co.cfg.Width))
+		c.wByte(uint8(co.cfg.Kernel))
 		c.wBytes(rule.AppendWire(ruleBuf[:0]))
 		c.wByte(mesh)
 		c.wBytes(header.Bytes())

@@ -72,13 +72,15 @@ import (
 // mixed-binary deployment fails loudly instead of desynchronizing.
 // Version 3 moved the framing out of transport/proc and added the arrival
 // rule to the init frame, the released/staged counts to the stats frame,
-// and the roster/ready/peer frames of the worker↔worker mesh.
-const ProtoVersion = 3
+// and the roster/ready/peer frames of the worker↔worker mesh. Version 4
+// added the dense-round kernel byte to the init frame (after the width
+// floor).
+const ProtoVersion = 4
 
 // Message types. Every frame is one type byte followed by a type-specific
 // payload; the per-message layouts are documented next to their writers.
 const (
-	mInit        byte = iota + 1 // c→w: version, lo, hi, workers, width floor, arrival rule, mesh flag, v2 header + owned shard frames
+	mInit        byte = iota + 1 // c→w: version, lo, hi, workers, width floor, kernel, arrival rule, mesh flag, v2 header + owned shard frames
 	mInitOK                      // w→c: join acknowledged + resident load bytes + peer-listen address (empty in star mode)
 	mStep                        // c→w: run the release phase (mesh: the whole round)
 	mExchange                    // w→c (star): remote-destined buffers

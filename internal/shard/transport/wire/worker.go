@@ -103,6 +103,7 @@ func workerJoin(c *conn, cfg WorkerConfig) (*workerState, error) {
 	lo, hi := int(c.rU32()), int(c.rU32())
 	workers := int(c.rU32())
 	width := engine.Width(c.rByte())
+	kernel := engine.Kernel(c.rByte())
 	ruleBytes := make([]byte, shard.ArrivalRuleWireSize)
 	if _, err := io.ReadFull(c.br, ruleBytes); err != nil {
 		c.failR(err)
@@ -115,6 +116,11 @@ func workerJoin(c *conn, cfg WorkerConfig) (*workerState, error) {
 	case engine.WidthAuto, engine.Width8, engine.Width16, engine.Width32:
 	default:
 		return nil, fmt.Errorf("invalid load width %d", width)
+	}
+	switch kernel {
+	case engine.KernelBatched, engine.KernelScalar:
+	default:
+		return nil, fmt.Errorf("invalid kernel %d", kernel)
 	}
 	if mesh > 1 {
 		return nil, fmt.Errorf("invalid mesh flag %d", mesh)
@@ -156,7 +162,8 @@ func workerJoin(c *conn, cfg WorkerConfig) (*workerState, error) {
 		}
 		es.Shards[i] = sh
 	}
-	g, err := shard.NewGroupFromSnapshot(es, lo, hi, local.NewPool(hi-lo, workers), nil, width)
+	g, err := shard.NewGroupFromSnapshot(es, lo, hi, local.NewPool(hi-lo, workers),
+		shard.GroupOptions{Width: width, Kernel: kernel})
 	if err != nil {
 		return nil, err
 	}

@@ -68,9 +68,10 @@ func (sp RunSpec) Build(hostWorkers int) (Process, error) {
 	}
 	w := sp.workers(hostWorkers)
 	width := engine.Width(sp.LoadWidth)
+	kernel := sp.Kernel()
 	switch kind := sp.transport(); kind {
 	case TransportPool, TransportSpawn:
-		shOpts := shard.Options{Shards: sp.Shards, Workers: w, Transport: sp.PoolKind(), Width: width}
+		shOpts := shard.Options{Shards: sp.Shards, Workers: w, Transport: sp.PoolKind(), Width: width, Kernel: kernel}
 		if sp.Process == ProcessRBB {
 			return shard.NewProcess(loads, sp.Seed, shOpts)
 		}
@@ -86,6 +87,7 @@ func (sp RunSpec) Build(hostWorkers int) (Process, error) {
 		}
 		return proc.NewProcess(loads, sp.Seed, proc.Options{
 			Shards: sp.Shards, Procs: sp.Placement.Procs, Workers: w, Rule: rule, Width: width,
+			Kernel: kernel,
 		})
 	case TransportTCP, TransportTCPMesh:
 		rule, err := sp.Rule()
@@ -94,7 +96,7 @@ func (sp RunSpec) Build(hostWorkers int) (Process, error) {
 		}
 		return tcp.NewProcess(loads, sp.Seed, tcp.Options{
 			Shards: sp.Shards, Procs: sp.Placement.Procs, Workers: w, Rule: rule, Width: width,
-			Mesh: kind == TransportTCPMesh, Hosts: sp.Placement.Hosts,
+			Kernel: kernel, Mesh: kind == TransportTCPMesh, Hosts: sp.Placement.Hosts,
 		})
 	default:
 		return nil, fmt.Errorf("unknown placement.transport %q", sp.transport())
@@ -111,19 +113,20 @@ func (sp RunSpec) Open(snap *checkpoint.Snapshot, hostWorkers int) (Process, *sh
 		return nil, nil, fmt.Errorf("process %q does not support checkpoints", sp.Process)
 	}
 	w := sp.workers(hostWorkers)
+	kernel := sp.Kernel()
 	switch kind := sp.transport(); kind {
 	case TransportPool, TransportSpawn:
-		return checkpoint.Resume(snap, shard.Options{Workers: w, Transport: sp.PoolKind()})
+		return checkpoint.Resume(snap, shard.Options{Workers: w, Transport: sp.PoolKind(), Kernel: kernel})
 	case TransportProc, TransportTCP, TransportTCPMesh:
 		var (
 			p   Process
 			err error
 		)
 		if kind == TransportProc {
-			p, err = proc.New(snap, proc.Options{Procs: sp.Placement.Procs, Workers: w})
+			p, err = proc.New(snap, proc.Options{Procs: sp.Placement.Procs, Workers: w, Kernel: kernel})
 		} else {
 			p, err = tcp.New(snap, tcp.Options{
-				Procs: sp.Placement.Procs, Workers: w,
+				Procs: sp.Placement.Procs, Workers: w, Kernel: kernel,
 				Mesh: kind == TransportTCPMesh, Hosts: sp.Placement.Hosts,
 			})
 		}

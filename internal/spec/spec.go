@@ -36,6 +36,7 @@ import (
 	"strings"
 
 	"repro/internal/config"
+	"repro/internal/engine"
 	"repro/internal/shard"
 )
 
@@ -95,6 +96,11 @@ type Placement struct {
 	// Hosts lists worker daemon addresses ("host:port", one worker each)
 	// for the tcp transports; empty self-spawns Procs local workers.
 	Hosts []string `json:"hosts,omitempty"`
+	// Kernel selects the dense-round kernel: "batched" (the default) or
+	// "scalar". Like every placement field it never perturbs the
+	// trajectory — the kernels are byte-equivalent — so it is excluded
+	// from ResultKey.
+	Kernel string `json:"kernel,omitempty"`
 }
 
 // multiProcess reports whether the transport crosses process boundaries.
@@ -273,6 +279,12 @@ func (sp *RunSpec) NormalizePlacement() error {
 		return fmt.Errorf("unknown placement.transport %q (want %s|%s|%s|%s|%s)", p.Transport,
 			TransportPool, TransportSpawn, TransportProc, TransportTCP, TransportTCPMesh)
 	}
+	if _, err := engine.ParseKernel(p.Kernel); err != nil {
+		return fmt.Errorf("unknown placement.kernel %q (want batched|scalar)", p.Kernel)
+	}
+	if p.Kernel == "" {
+		p.Kernel = engine.KernelBatched.String()
+	}
 	if p.Workers < 0 {
 		return fmt.Errorf("need placement.workers >= 0, got %d", p.Workers)
 	}
@@ -344,6 +356,16 @@ func (sp RunSpec) ResultKey() string {
 		b.WriteString(strconv.FormatFloat(q, 'g', -1, 64))
 	}
 	return b.String()
+}
+
+// Kernel resolves the effective dense-round kernel, tolerating
+// un-normalized specs (empty means the batched default).
+func (sp RunSpec) Kernel() engine.Kernel {
+	k, err := engine.ParseKernel(sp.Placement.Kernel)
+	if err != nil {
+		return engine.KernelBatched
+	}
+	return k
 }
 
 // PoolKind maps the effective transport onto the in-process phase

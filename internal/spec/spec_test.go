@@ -112,13 +112,23 @@ func TestResultKeyExcludesPlacement(t *testing.T) {
 	ref := base().ResultKey()
 
 	same := base()
-	same.Placement = Placement{Transport: TransportTCPMesh, Procs: 4, Hosts: nil, Workers: 3}
+	same.Placement = Placement{Transport: TransportTCPMesh, Procs: 4, Hosts: nil, Workers: 3, Kernel: "scalar"}
 	same.CheckpointEvery, same.StreamEvery, same.LoadWidth = 77, 5, 32
 	if err := same.NormalizePlacement(); err != nil {
 		t.Fatal(err)
 	}
 	if same.ResultKey() != ref {
 		t.Fatalf("placement/policy fields leaked into the result key:\n %q\n %q", same.ResultKey(), ref)
+	}
+	// The kernel knob alone is placement-plane too: batched and scalar
+	// specs share one result.
+	kern := base()
+	kern.Placement.Kernel = "scalar"
+	if err := kern.NormalizePlacement(); err != nil {
+		t.Fatal(err)
+	}
+	if kern.ResultKey() != ref {
+		t.Fatal("placement.kernel leaked into the result key")
 	}
 	// Quantile order is canonicalized.
 	reordered := base()
@@ -153,19 +163,21 @@ func TestNormalizePlacement(t *testing.T) {
 		wantErr string
 		want    Placement
 	}{
-		{name: "default pool", in: RunSpec{}, want: Placement{Transport: TransportPool}},
+		{name: "default pool", in: RunSpec{}, want: Placement{Transport: TransportPool, Kernel: "batched"}},
 		{name: "unknown kind", in: RunSpec{Placement: Placement{Transport: "carrier-pigeon"}}, wantErr: "unknown placement.transport"},
+		{name: "unknown kernel", in: RunSpec{Placement: Placement{Kernel: "vectorized"}}, wantErr: "unknown placement.kernel"},
+		{name: "scalar kernel", in: RunSpec{Placement: Placement{Kernel: "scalar"}}, want: Placement{Transport: TransportPool, Kernel: "scalar"}},
 		{name: "procs on pool", in: RunSpec{Placement: Placement{Transport: TransportPool, Procs: 2}}, wantErr: "multi-process transport"},
 		{name: "hosts on spawn", in: RunSpec{Placement: Placement{Transport: TransportSpawn, Hosts: []string{"a"}}}, wantErr: "placement.hosts needs a tcp transport"},
 		{name: "hosts on proc", in: RunSpec{Placement: Placement{Transport: TransportProc, Hosts: []string{"a"}}}, wantErr: "placement.hosts needs a tcp transport"},
-		{name: "proc defaults procs", in: RunSpec{Placement: Placement{Transport: TransportProc}}, want: Placement{Transport: TransportProc, Procs: 2}},
+		{name: "proc defaults procs", in: RunSpec{Placement: Placement{Transport: TransportProc}}, want: Placement{Transport: TransportProc, Procs: 2, Kernel: "batched"}},
 		{name: "hosts imply procs", in: RunSpec{Placement: Placement{Transport: TransportTCP, Hosts: []string{"a:1", "b:1"}}},
-			want: Placement{Transport: TransportTCP, Procs: 2, Hosts: []string{"a:1", "b:1"}}},
+			want: Placement{Transport: TransportTCP, Procs: 2, Hosts: []string{"a:1", "b:1"}, Kernel: "batched"}},
 		{name: "procs contradict hosts", in: RunSpec{Placement: Placement{Transport: TransportTCP, Procs: 3, Hosts: []string{"a:1"}}}, wantErr: "contradicts"},
 		{name: "hosts exceed shards", in: RunSpec{Shards: 2, Placement: Placement{Transport: TransportTCPMesh, Hosts: []string{"a", "b", "c"}}}, wantErr: "hosts <= shards"},
 		{name: "procs exceed shards", in: RunSpec{Shards: 2, Placement: Placement{Transport: TransportProc, Procs: 4}}, wantErr: "exceeds"},
 		{name: "cli shards 0 skips shard checks", in: RunSpec{Placement: Placement{Transport: TransportProc, Procs: 64}},
-			want: Placement{Transport: TransportProc, Procs: 64}},
+			want: Placement{Transport: TransportProc, Procs: 64, Kernel: "batched"}},
 		{name: "negative procs", in: RunSpec{Placement: Placement{Transport: TransportProc, Procs: -1}}, wantErr: "procs >= 0"},
 		{name: "negative workers", in: RunSpec{Placement: Placement{Workers: -1}}, wantErr: "workers >= 0"},
 	}
